@@ -1,0 +1,149 @@
+package rsepsim
+
+// One benchmark per reproduced table/figure (DESIGN.md §4). Each iteration
+// performs the figure's full sweep at reduced scale — the -bench harness is
+// the machine-checked form of "the code that regenerates the evaluation".
+// Micro-benchmarks for the hot components follow.
+
+import (
+	"math/rand"
+	"testing"
+
+	"rsepsim/internal/config"
+	"rsepsim/internal/experiments"
+	"rsepsim/internal/metrics"
+	"rsepsim/internal/pipeline"
+	"rsepsim/internal/predictor"
+	"rsepsim/internal/rsep"
+	"rsepsim/internal/vpred"
+	"rsepsim/internal/workload"
+)
+
+// benchOpt is the reduced-scale protocol used by the figure benches: a
+// representative benchmark subset, one segment, small instruction counts.
+func benchOpt() experiments.Options {
+	return experiments.Options{
+		Benchmarks: []string{"mcf", "dealII", "hmmer", "libquantum", "perlbench", "wrf"},
+		Segments:   1,
+		Warmup:     30_000,
+		Measure:    50_000,
+		BaseSeed:   1,
+	}
+}
+
+func runFigure(b *testing.B, f func(experiments.Options) (*metrics.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := f(benchOpt()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) { runFigure(b, experiments.Figure1) }
+func BenchmarkFigure4(b *testing.B) { runFigure(b, experiments.Figure4) }
+func BenchmarkFigure5(b *testing.B) { runFigure(b, experiments.Figure5) }
+func BenchmarkFigure6(b *testing.B) { runFigure(b, experiments.Figure6) }
+func BenchmarkFigure7(b *testing.B) { runFigure(b, experiments.Figure7) }
+
+func BenchmarkHistoryDepth(b *testing.B) { runFigure(b, experiments.HistoryDepth) }
+func BenchmarkISRBSweep(b *testing.B)    { runFigure(b, experiments.ISRBSweep) }
+func BenchmarkHashWidth(b *testing.B)    { runFigure(b, experiments.HashWidth) }
+func BenchmarkComparators(b *testing.B)  { runFigure(b, experiments.Comparators) }
+func BenchmarkGShareVsTAGE(b *testing.B) { runFigure(b, experiments.GShareVsTAGE) }
+
+// BenchmarkPipelineBaseline measures raw simulation throughput
+// (simulated instructions per wall-clock second) on the Table I core.
+func BenchmarkPipelineBaseline(b *testing.B) {
+	benchPipeline(b, config.TableI())
+}
+
+// BenchmarkPipelineRSEP measures throughput with the full realistic RSEP
+// machinery enabled.
+func BenchmarkPipelineRSEP(b *testing.B) {
+	benchPipeline(b, config.TableI().WithRSEP(rsep.Realistic()))
+}
+
+// BenchmarkPipelineRSEPVP measures throughput with both mechanisms on.
+func BenchmarkPipelineRSEPVP(b *testing.B) {
+	benchPipeline(b, config.TableI().WithRSEP(rsep.Ideal()).WithVP(vpred.BeBoP()))
+}
+
+func benchPipeline(b *testing.B, cfg *config.Config) {
+	b.Helper()
+	const insts = 50_000
+	prof := workload.MustByName("mcf")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core := pipeline.New(cfg, workload.New(prof, 42))
+		core.Run(insts)
+	}
+	b.ReportMetric(float64(insts), "insts/op")
+}
+
+// BenchmarkWorkloadGen measures trace generation throughput alone.
+func BenchmarkWorkloadGen(b *testing.B) {
+	prof := workload.MustByName("xalancbmk")
+	g := workload.New(prof, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+// BenchmarkDistancePredictor measures TAGE distance lookup+update latency.
+func BenchmarkDistancePredictor(b *testing.B) {
+	dp := rsep.NewTAGEDist(rsep.RealisticTAGEDist(), nil, rand.New(rand.NewSource(1)))
+	hist := predictor.NewGlobalHistory(dp.HistoryLengths(), dp.HistoryWidths())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lk := dp.Lookup(uint64(0x1000+(i%64)*4), hist)
+		dp.Update(&lk, uint16(i%32))
+	}
+}
+
+// BenchmarkFIFOHistory measures the commit-side pairing probe.
+func BenchmarkFIFOHistory(b *testing.B) {
+	h := rsep.NewFIFOHistory(128, 14, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hash := rsep.FoldHash(uint64(i%97), 14)
+		h.Find(hash, uint64(i), uint16(i%64))
+		h.Push(hash, uint64(i))
+	}
+}
+
+// BenchmarkFoldHash measures the result-hash function.
+func BenchmarkFoldHash(b *testing.B) {
+	var acc uint32
+	for i := 0; i < b.N; i++ {
+		acc ^= rsep.FoldHash(uint64(i)*0x9e3779b97f4a7c15, 14)
+	}
+	_ = acc
+}
+
+// BenchmarkDVTAGE measures value-predictor lookup+update latency.
+func BenchmarkDVTAGE(b *testing.B) {
+	vp := vpred.New(vpred.BeBoP(), nil, rand.New(rand.NewSource(1)))
+	hist := predictor.NewGlobalHistory(vp.HistoryLengths(), vp.HistoryWidths())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lk := vp.Lookup(uint64(0x2000+(i%64)*4), hist)
+		vp.Update(&lk, uint64(i))
+	}
+}
+
+// BenchmarkBranchPredictor measures the front-end TAGE.
+func BenchmarkBranchPredictor(b *testing.B) {
+	bp := pipelineBranchBench()
+	b.ResetTimer()
+	bp(b.N)
+}
+
+func pipelineBranchBench() func(int) {
+	// Kept in a helper so the bench body stays allocation-free.
+	core := pipeline.New(config.TableI(), workload.New(workload.MustByName("gobmk"), 3))
+	return func(n int) {
+		core.Run(uint64(n))
+	}
+}

@@ -1,0 +1,106 @@
+// Command experiments regenerates the paper's tables and figures. Each
+// figure of the evaluation section (and each ablation discussed in its text)
+// has a runner; see DESIGN.md for the experiment index.
+//
+// Usage:
+//
+//	experiments -fig 4                  # Figure 4 (speedups)
+//	experiments -fig all                # everything
+//	experiments -fig 7 -bench mcf,hmmer -segments 4 -measure 400000
+//	experiments -fig 1 -csv             # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rsepsim/internal/experiments"
+	"rsepsim/internal/metrics"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, hist, isrb, hash, comparators, gshare, table1, storage, all")
+		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all 29)")
+		segments = flag.Int("segments", 0, "segments (checkpoints) per benchmark")
+		warmup   = flag.Uint64("warmup", 0, "warmup instructions per segment")
+		measure  = flag.Uint64("measure", 0, "measured instructions per segment")
+		seed     = flag.Int64("seed", 0, "base random seed")
+		par      = flag.Int("par", 0, "parallel simulations (default NumCPU)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{
+		Segments:    *segments,
+		Warmup:      *warmup,
+		Measure:     *measure,
+		BaseSeed:    *seed,
+		Parallelism: *par,
+	}
+	if *bench != "" {
+		opt.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	type runner struct {
+		name string
+		run  func(experiments.Options) (*metrics.Table, error)
+	}
+	static := map[string]func() *metrics.Table{
+		"table1":  experiments.TableIReport,
+		"storage": experiments.StorageReport,
+	}
+	runners := []runner{
+		{"1", experiments.Figure1},
+		{"4", experiments.Figure4},
+		{"5", experiments.Figure5},
+		{"6", experiments.Figure6},
+		{"7", experiments.Figure7},
+		{"hist", experiments.HistoryDepth},
+		{"isrb", experiments.ISRBSweep},
+		{"hash", experiments.HashWidth},
+		{"comparators", experiments.Comparators},
+		{"gshare", experiments.GShareVsTAGE},
+	}
+
+	emit := func(t *metrics.Table) {
+		if *csv {
+			t.CSV(os.Stdout)
+		} else {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Println()
+	}
+
+	want := *fig
+	ran := false
+	if f, ok := static[want]; ok {
+		emit(f())
+		return
+	}
+	if want == "all" {
+		emit(experiments.TableIReport())
+		emit(experiments.StorageReport())
+	}
+	for _, r := range runners {
+		if want != "all" && want != r.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		t, err := r.run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: figure %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		emit(t)
+		fmt.Fprintf(os.Stderr, "[fig %s: %.1fs]\n", r.name, time.Since(start).Seconds())
+	}
+	if !ran && want != "all" {
+		fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", want)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,96 @@
+// Command rsepsim runs a single benchmark under one configuration and prints
+// a detailed statistics report — the quick way to inspect one simulation.
+//
+// Usage:
+//
+//	rsepsim -bench mcf -mech rsep -insts 500000
+//	rsepsim -bench hmmer -mech rsep-realistic,vp -warmup 200000
+//	rsepsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rsepsim/internal/config"
+	"rsepsim/internal/metrics"
+	"rsepsim/internal/pipeline"
+	"rsepsim/internal/rsep"
+	"rsepsim/internal/vpred"
+	"rsepsim/internal/workload"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "mcf", "benchmark name")
+		mech   = flag.String("mech", "", "mechanisms: comma list of zeropred, moveelim, rsep, rsep-realistic, vp, oracle")
+		insts  = flag.Uint64("insts", 300_000, "instructions to measure")
+		warmup = flag.Uint64("warmup", 100_000, "warmup instructions")
+		seed   = flag.Int64("seed", 42, "workload seed")
+		list   = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg := config.TableI()
+	for _, m := range strings.Split(*mech, ",") {
+		switch strings.TrimSpace(m) {
+		case "":
+		case "zeropred":
+			cfg = cfg.WithZeroPred()
+		case "moveelim":
+			cfg = cfg.WithMoveElim()
+		case "rsep":
+			cfg = cfg.WithRSEP(rsep.Ideal())
+		case "rsep-realistic":
+			cfg = cfg.WithRSEP(rsep.Realistic())
+		case "vp":
+			cfg = cfg.WithVP(vpred.BeBoP())
+		case "oracle":
+			cfg = cfg.WithOracle()
+		default:
+			fmt.Fprintf(os.Stderr, "rsepsim: unknown mechanism %q\n", m)
+			os.Exit(2)
+		}
+	}
+
+	prof, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsepsim:", err)
+		os.Exit(1)
+	}
+	core := pipeline.New(cfg, workload.New(prof, *seed))
+	core.Run(*warmup)
+	core.ResetStats()
+	core.Run(*insts)
+	report(*bench, core.Stats())
+}
+
+func report(name string, st *metrics.Stats) {
+	fmt.Printf("benchmark        %s\n", name)
+	fmt.Printf("committed        %d insts in %d cycles (IPC %.3f)\n", st.Committed, st.Cycles, st.IPC())
+	fmt.Printf("mix              %.1f%% loads, %.1f%% stores, %.1f%% branches\n",
+		100*st.Frac(st.CommittedLoads), 100*st.Frac(st.CommittedStores), 100*st.Frac(st.CommittedBranches))
+	fmt.Printf("branches         %d mispredicts (%.2f/kinst)\n",
+		st.BranchMispredicts, 1000*st.Frac(st.BranchMispredicts))
+	fmt.Printf("memory           L1D miss %.1f%%, L2 misses %d, L3 misses %d, DRAM reads %d (avg %.0f cyc)\n",
+		100*float64(st.L1DMisses)/float64(st.L1DAccesses+1), st.L2Misses, st.L3Misses, st.DRAMReads, st.AvgDRAMLatency)
+	fmt.Printf("coverage         zeroIdiom %.1f%%  moveElim %.1f%%  zeroPred %.1f%%  distPred %.1f%% (loads %.1f%%)  valuePred %.1f%%\n",
+		100*st.Frac(st.ZeroIdiomElim), 100*st.Frac(st.MoveElim), 100*st.Frac(st.ZeroPred),
+		100*st.Frac(st.DistPred), 100*st.Frac(st.DistPredLoad), 100*st.Frac(st.ValuePred))
+	fmt.Printf("speculation      distMiss %d  zeroMiss %d  vpMiss %d  memOrder %d  squashes %d  valUops %d\n",
+		st.DistMispredicts, st.ZeroMispredicts, st.ValueMispredicts, st.MemOrderSquashes, st.Squashes, st.ValidationUops)
+	if st.OracleZeroLoad+st.OracleZeroOther+st.OraclePRFLoad+st.OraclePRFOther > 0 {
+		fmt.Printf("oracle (fig 1)   zero: %.1f%% loads + %.1f%% other; in-PRF: %.1f%% loads + %.1f%% other\n",
+			100*st.Frac(st.OracleZeroLoad), 100*st.Frac(st.OracleZeroOther),
+			100*st.Frac(st.OraclePRFLoad), 100*st.Frac(st.OraclePRFOther))
+	}
+}

@@ -1,0 +1,12 @@
+// Package rsepsim reproduces "Register Sharing for Equality Prediction"
+// (Perais, Endo, Seznec — MICRO 2016): a cycle-level out-of-order core
+// simulator, the RSEP equality-prediction machinery, a D-VTAGE value
+// predictor baseline, 29 SPEC CPU2006-like workload models and a harness
+// that regenerates every table and figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate each figure at laptop scale:
+//
+//	go test -bench=. -benchmem
+package rsepsim

@@ -1,0 +1,84 @@
+// Predictorlab: use the predictor components directly (no pipeline) to study
+// how the TAGE distance predictor and D-VTAGE respond to different value
+// behaviours — constants, strides, and periodic sets. This reproduces the
+// paper's core observation in miniature: equality prediction and value
+// prediction capture different behaviours.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rsepsim/internal/predictor"
+	"rsepsim/internal/rsep"
+	"rsepsim/internal/vpred"
+)
+
+// feed drives both predictors with a value stream, pairing instructions
+// through a FIFO history exactly like the commit stage does, and reports
+// each predictor's steady-state coverage.
+func feed(name string, gen func(i int) uint64) {
+	dist := rsep.NewTAGEDist(rsep.IdealTAGEDist(), nil, rand.New(rand.NewSource(1)))
+	dh := predictor.NewGlobalHistory(dist.HistoryLengths(), dist.HistoryWidths())
+	vp := vpred.New(vpred.BeBoP(), nil, rand.New(rand.NewSource(2)))
+	vh := predictor.NewGlobalHistory(vp.HistoryLengths(), vp.HistoryWidths())
+	hist := rsep.NewFIFOHistory(0, 14, 10)
+
+	const pc = 0x1000
+	const n = 3000
+	distUsed, distRight, vpUsed, vpRight := 0, 0, 0, 0
+	for i := 0; i < n; i++ {
+		v := gen(i)
+
+		dlk := dist.Lookup(pc, dh)
+		vlk := vp.Lookup(pc, vh)
+		tail := i >= n/2
+
+		if tail && dlk.UsePred {
+			distUsed++
+			// A used distance is correct if the value at that
+			// distance equals v; the pairing structure tells us.
+			if d, ok := hist.Find(rsep.FoldHash(v, 14), uint64(i), dlk.Dist); ok && d == dlk.Dist {
+				distRight++
+			}
+		}
+		if tail && vlk.UsePred {
+			vpUsed++
+			if vlk.Value == v {
+				vpRight++
+			}
+		}
+
+		// Commit-side training.
+		if d, ok := hist.Find(rsep.FoldHash(v, 14), uint64(i), dlk.Dist); ok {
+			dist.Update(&dlk, d)
+		} else {
+			dist.Update(&dlk, 0)
+		}
+		hist.Push(rsep.FoldHash(v, 14), uint64(i))
+		vp.Update(&vlk, v)
+	}
+	pct := func(a, b int) string {
+		if b == 0 {
+			return "  0.0%"
+		}
+		return fmt.Sprintf("%5.1f%%", 100*float64(a)/float64(n/2))
+	}
+	fmt.Printf("%-22s distance: used %s  | D-VTAGE: used %s\n",
+		name, pct(distUsed, distUsed), pct(vpUsed, vpUsed))
+}
+
+func main() {
+	fmt.Println("Steady-state coverage of one static instruction (second half of 3000 instances):")
+	fmt.Println()
+	feed("constant 42", func(i int) uint64 { return 42 })
+	feed("stride +8", func(i int) uint64 { return uint64(8 * i) })
+	feed("period-2 {5,11}", func(i int) uint64 { return []uint64{5, 11}[i%2] })
+	feed("period-3 {1,9,4}", func(i int) uint64 { return []uint64{1, 9, 4}[i%3] })
+	rng := rand.New(rand.NewSource(3))
+	feed("random 64-bit", func(i int) uint64 { return rng.Uint64() })
+	fmt.Println()
+	fmt.Println("Constants are captured by both; strides only by value prediction;")
+	fmt.Println("periodic sets only by distance (equality) prediction — the overlap")
+	fmt.Println("structure behind Figures 4 and 5.")
+}

@@ -1,0 +1,33 @@
+// Quickstart: simulate one benchmark on the Table I core with and without
+// RSEP and print the speedup — the smallest end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+
+	"rsepsim/internal/config"
+	"rsepsim/internal/pipeline"
+	"rsepsim/internal/rsep"
+	"rsepsim/internal/workload"
+)
+
+func main() {
+	const bench = "hmmer"
+	const warm, measure = 100_000, 200_000
+
+	run := func(cfg *config.Config) float64 {
+		prof := workload.MustByName(bench)
+		core := pipeline.New(cfg, workload.New(prof, 42))
+		core.Run(warm)
+		core.ResetStats()
+		core.Run(measure)
+		return core.Stats().IPC()
+	}
+
+	base := run(config.TableI())
+	with := run(config.TableI().WithRSEP(rsep.Realistic()))
+
+	fmt.Printf("%s on the Table I core (%d measured instructions)\n", bench, measure)
+	fmt.Printf("  baseline IPC:        %.3f\n", base)
+	fmt.Printf("  with realistic RSEP: %.3f  (%+.1f%%)\n", with, 100*(with/base-1))
+}

@@ -1,0 +1,344 @@
+// Package branch implements the front-end control-flow predictors of the
+// Table I configuration: a TAGE conditional direction predictor with 1+12
+// components and ~15K entries, a 2-way 4K-entry BTB and a 32-entry return
+// address stack.
+package branch
+
+import (
+	"math/rand"
+
+	"rsepsim/internal/predictor"
+	"rsepsim/internal/uarch"
+)
+
+// Geometric history lengths for the 12 tagged components.
+var histLens = []int{4, 6, 10, 16, 25, 40, 64, 101, 160, 254, 403, 640}
+
+// numComponents is the number of tagged components.
+const numComponents = 12
+
+const (
+	baseEntries   = 4096 // bimodal base, 2-bit counters
+	taggedEntries = 1024 // per tagged component (4K + 12x1K ≈ 16K entries)
+	tagBits       = 11
+	rasDepth      = 32
+	btbEntries    = 4096
+	btbWays       = 2
+)
+
+type tageEntry struct {
+	ctr   int8 // signed 3-bit (-4..3)
+	tag   uint32
+	u     uint8
+	valid bool
+}
+
+// Predictor bundles the direction predictor, BTB and RAS, together with the
+// speculative global history that TAGE components share with the distance
+// and value predictors (the paper indexes those with the same global
+// branch/path history).
+type Predictor struct {
+	hist *predictor.GlobalHistory
+
+	bimodal []int8 // 2-bit (-2..1)
+	tables  [][]tageEntry
+
+	btb [btbEntries / btbWays][btbWays]btbEntry
+	ras [rasDepth]uint64
+	top int
+
+	rng   *rand.Rand
+	ticks int
+
+	// Stats
+	CondLookups, CondMispredicts uint64
+	BTBMisses                    uint64
+}
+
+type btbEntry struct {
+	tag    uint32
+	target uint64
+	lru    uint8
+	valid  bool
+}
+
+// New returns a predictor with Table I geometry. rng drives TAGE allocation
+// tie-breaking.
+func New(rng *rand.Rand) *Predictor {
+	widths := make([]int, len(histLens))
+	for i := range widths {
+		widths[i] = 10 // log2(taggedEntries)
+	}
+	p := &Predictor{
+		hist:    predictor.NewGlobalHistory(histLens, widths),
+		bimodal: make([]int8, baseEntries),
+		rng:     rng,
+	}
+	for range histLens {
+		p.tables = append(p.tables, make([]tageEntry, taggedEntries))
+	}
+	return p
+}
+
+// History exposes the speculative global history for the distance and value
+// predictors.
+func (p *Predictor) History() *predictor.GlobalHistory { return p.hist }
+
+// Prediction carries the front-end prediction and the state needed to update
+// or repair the predictor when the branch resolves.
+type Prediction struct {
+	Taken     bool
+	Target    uint64
+	TargetHit bool // BTB (or RAS) supplied a target
+
+	Snapshot predictor.HistorySnapshot
+	rasSnap  [rasDepth]uint64
+	rasTop   int
+
+	provider int
+	indices  [numComponents + 1]uint32 // last slot: bimodal index
+	tags     [numComponents]uint32
+	altTaken bool
+	predUsed bool // a tagged component provided
+}
+
+func mixTag(pc uint64, fold uint32, comp int) uint32 {
+	h := pc*0x9e3779b97f4a7c15 ^ uint64(fold)<<3 ^ uint64(comp)*0x100000001b3
+	h ^= h >> 33
+	return uint32(h) & ((1 << tagBits) - 1)
+}
+
+func mixIdx(pc uint64, fold uint32, path uint64, comp int) uint32 {
+	h := pc ^ pc>>14 ^ uint64(fold) ^ path<<5 ^ uint64(comp)*0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return uint32(h % taggedEntries)
+}
+
+// Predict predicts the branch in at fetch time and speculatively updates the
+// global history and RAS. The returned Prediction must be handed back to
+// Resolve when the branch executes.
+func (p *Predictor) Predict(in *uarch.Inst) Prediction {
+	var pr Prediction
+	pr.Snapshot = p.hist.Snapshot()
+	pr.rasSnap = p.ras
+	pr.rasTop = p.top
+
+	switch in.BrKind {
+	case uarch.BrCond:
+		p.CondLookups++
+		pr.Taken = p.predictDirection(in.PC, &pr)
+	case uarch.BrUncond, uarch.BrCall, uarch.BrIndirect:
+		pr.Taken = true
+	case uarch.BrReturn:
+		pr.Taken = true
+	}
+
+	// Target.
+	if pr.Taken {
+		switch in.BrKind {
+		case uarch.BrReturn:
+			pr.Target = p.ras[p.top]
+			p.top = (p.top - 1 + rasDepth) % rasDepth
+			pr.TargetHit = pr.Target != 0
+		default:
+			if tgt, ok := p.btbLookup(in.PC); ok {
+				pr.Target, pr.TargetHit = tgt, true
+			} else {
+				p.BTBMisses++
+			}
+		}
+	}
+	if in.BrKind == uarch.BrCall {
+		p.top = (p.top + 1) % rasDepth
+		p.ras[p.top] = in.PC + 4
+	}
+
+	// Speculative history update with the *predicted* direction.
+	if in.BrKind == uarch.BrCond {
+		p.hist.Push(in.PC, pr.Taken)
+	} else {
+		p.hist.Push(in.PC, true)
+	}
+	return pr
+}
+
+func (p *Predictor) predictDirection(pc uint64, pr *Prediction) bool {
+	bIdx := uint32((pc >> 2) % baseEntries)
+	pr.indices[len(histLens)] = bIdx
+	taken := p.bimodal[bIdx] >= 0
+	alt := taken
+	weak := false
+	pr.provider = -1
+
+	for i := range p.tables {
+		idx := mixIdx(pc, p.hist.Fold(i), p.hist.Path(), i)
+		tag := mixTag(pc, p.hist.Fold(i), i)
+		pr.indices[i], pr.tags[i] = idx, tag
+		e := &p.tables[i][idx]
+		if e.valid && e.tag == tag {
+			alt = taken
+			taken = e.ctr >= 0
+			weak = e.ctr == 0 || e.ctr == -1
+			pr.provider = i
+			pr.predUsed = true
+		}
+	}
+	pr.altTaken = alt
+	// use_alt_on_na: a weak (likely newly allocated) provider is less
+	// reliable than the alternate prediction — a standard TAGE refinement
+	// that filters allocation noise on poorly biased branches.
+	if weak && pr.provider >= 0 {
+		return alt
+	}
+	return taken
+}
+
+// Resolve trains the predictor with the actual outcome and, on a direction or
+// target misprediction, repairs the speculative history and RAS.
+func (p *Predictor) Resolve(in *uarch.Inst, pr *Prediction, mispredicted bool) {
+	if in.BrKind == uarch.BrCond {
+		p.updateDirection(in.PC, pr, in.Taken)
+		if pr.Taken != in.Taken {
+			p.CondMispredicts++
+		}
+	}
+	if in.Taken && (!pr.TargetHit || pr.Target != in.Target) {
+		p.btbInsert(in.PC, in.Target)
+	}
+	if mispredicted {
+		// Rewind speculative state to just before this branch, then
+		// re-apply the actual outcome.
+		p.hist.Restore(pr.Snapshot)
+		p.ras = pr.rasSnap
+		p.top = pr.rasTop
+		if in.BrKind == uarch.BrCall {
+			p.top = (p.top + 1) % rasDepth
+			p.ras[p.top] = in.PC + 4
+		}
+		if in.BrKind == uarch.BrReturn {
+			p.top = (p.top - 1 + rasDepth) % rasDepth
+		}
+		if in.BrKind == uarch.BrCond {
+			p.hist.Push(in.PC, in.Taken)
+		} else {
+			p.hist.Push(in.PC, true)
+		}
+	}
+}
+
+// RestoreFrom rewinds the speculative history and RAS to the state captured
+// just before pr's branch was predicted. The pipeline uses it when a squash
+// (value mispredict, memory-order violation) discards inflight branches.
+func (p *Predictor) RestoreFrom(pr *Prediction) {
+	p.hist.Restore(pr.Snapshot)
+	p.ras = pr.rasSnap
+	p.top = pr.rasTop
+}
+
+func ctrUpdate(ctr *int8, taken bool, lo, hi int8) {
+	if taken {
+		if *ctr < hi {
+			*ctr++
+		}
+	} else if *ctr > lo {
+		*ctr--
+	}
+}
+
+func (p *Predictor) updateDirection(pc uint64, pr *Prediction, taken bool) {
+	correct := pr.Taken == taken
+	if pr.provider >= 0 {
+		e := &p.tables[pr.provider][pr.indices[pr.provider]]
+		ctrUpdate(&e.ctr, taken, -4, 3)
+		if pr.Taken != pr.altTaken {
+			if correct {
+				if e.u < 3 {
+					e.u++
+				}
+			} else if e.u > 0 {
+				e.u--
+			}
+		}
+	} else {
+		ctrUpdate(&p.bimodal[pr.indices[len(histLens)]], taken, -2, 1)
+	}
+
+	if !correct && pr.provider < len(histLens)-1 {
+		p.allocate(pc, pr, taken)
+	}
+
+	p.ticks++
+	if p.ticks >= 512*1024 {
+		p.ticks = 0
+		for _, tbl := range p.tables {
+			for j := range tbl {
+				if tbl[j].u > 0 {
+					tbl[j].u--
+				}
+			}
+		}
+	}
+}
+
+func (p *Predictor) allocate(pc uint64, pr *Prediction, taken bool) {
+	start := pr.provider + 1
+	var cands []int
+	for i := start; i < len(p.tables); i++ {
+		if p.tables[i][pr.indices[i]].u == 0 {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		for i := start; i < len(p.tables); i++ {
+			e := &p.tables[i][pr.indices[i]]
+			if e.u > 0 {
+				e.u--
+			}
+		}
+		return
+	}
+	pick := cands[0]
+	if len(cands) > 1 && p.rng.Intn(2) == 0 {
+		pick = cands[1]
+	}
+	var ctr int8
+	if !taken {
+		ctr = -1
+	}
+	p.tables[pick][pr.indices[pick]] = tageEntry{ctr: ctr, tag: pr.tags[pick], valid: true}
+}
+
+func (p *Predictor) btbLookup(pc uint64) (uint64, bool) {
+	set := (pc >> 2) % uint64(btbEntries/btbWays)
+	tag := uint32(pc >> 14)
+	for w := range p.btb[set] {
+		e := &p.btb[set][w]
+		if e.valid && e.tag == tag {
+			e.lru = 1
+			p.btb[set][1-w].lru = 0
+			return e.target, true
+		}
+	}
+	return 0, false
+}
+
+func (p *Predictor) btbInsert(pc, target uint64) {
+	set := (pc >> 2) % uint64(btbEntries/btbWays)
+	tag := uint32(pc >> 14)
+	// Hit update or LRU-victim insert.
+	victim := 0
+	for w := range p.btb[set] {
+		e := &p.btb[set][w]
+		if e.valid && e.tag == tag {
+			e.target = target
+			return
+		}
+		if e.lru == 0 {
+			victim = w
+		}
+	}
+	p.btb[set][victim] = btbEntry{tag: tag, target: target, lru: 1, valid: true}
+	p.btb[set][1-victim].lru = 0
+}

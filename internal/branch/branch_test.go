@@ -1,0 +1,144 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+
+	"rsepsim/internal/uarch"
+)
+
+func condBranch(pc uint64, taken bool) uarch.Inst {
+	return uarch.Inst{
+		PC: pc, Class: uarch.ClassBranch, BrKind: uarch.BrCond,
+		Dst: uarch.RegNone, Taken: taken, Target: pc - 64,
+	}
+}
+
+func TestLearnsBiasedBranch(t *testing.T) {
+	p := New(rand.New(rand.NewSource(1)))
+	in := condBranch(0x1000, true)
+	wrong := 0
+	for i := 0; i < 2000; i++ {
+		pr := p.Predict(&in)
+		if pr.Taken != in.Taken {
+			wrong++
+		}
+		p.Resolve(&in, &pr, pr.Taken != in.Taken)
+	}
+	if wrong > 20 {
+		t.Fatalf("always-taken branch mispredicted %d/2000 times", wrong)
+	}
+}
+
+func TestLearnsPeriodicPattern(t *testing.T) {
+	// taken,taken,taken,not-taken repeating: pure history correlation.
+	p := New(rand.New(rand.NewSource(2)))
+	wrong := 0
+	for i := 0; i < 4000; i++ {
+		in := condBranch(0x2000, i%4 != 3)
+		pr := p.Predict(&in)
+		mis := pr.Taken != in.Taken
+		if i > 2000 && mis {
+			wrong++
+		}
+		p.Resolve(&in, &pr, mis)
+	}
+	if wrong > 100 {
+		t.Fatalf("period-4 pattern mispredicted %d/2000 in steady state", wrong)
+	}
+}
+
+func TestRandomBranchNearBias(t *testing.T) {
+	// A Bernoulli(0.2) branch cannot be predicted below its bias; the
+	// predictor should approach ~20% and not blow far past it.
+	rng := rand.New(rand.NewSource(3))
+	p := New(rand.New(rand.NewSource(4)))
+	wrong := 0
+	const n = 8000
+	for i := 0; i < n; i++ {
+		in := condBranch(0x3000, rng.Float64() < 0.2)
+		pr := p.Predict(&in)
+		mis := pr.Taken != in.Taken
+		if i > n/2 && mis {
+			wrong++
+		}
+		p.Resolve(&in, &pr, mis)
+	}
+	rate := float64(wrong) / (n / 2)
+	if rate > 0.32 {
+		t.Fatalf("mispredict rate %.2f on Bern(0.2), want near 0.20", rate)
+	}
+}
+
+func TestBTBTargets(t *testing.T) {
+	p := New(rand.New(rand.NewSource(5)))
+	in := uarch.Inst{
+		PC: 0x4000, Class: uarch.ClassBranch, BrKind: uarch.BrUncond,
+		Dst: uarch.RegNone, Taken: true, Target: 0x9000,
+	}
+	pr := p.Predict(&in)
+	if pr.TargetHit {
+		t.Fatal("cold BTB must miss")
+	}
+	p.Resolve(&in, &pr, false)
+	pr = p.Predict(&in)
+	if !pr.TargetHit || pr.Target != 0x9000 {
+		t.Fatalf("BTB target = %#x hit=%v, want 0x9000", pr.Target, pr.TargetHit)
+	}
+}
+
+func TestRASCallReturn(t *testing.T) {
+	p := New(rand.New(rand.NewSource(6)))
+	call := uarch.Inst{
+		PC: 0x5000, Class: uarch.ClassBranch, BrKind: uarch.BrCall,
+		Dst: uarch.RegNone, Taken: true, Target: 0x8000,
+	}
+	pr := p.Predict(&call)
+	p.Resolve(&call, &pr, false)
+	ret := uarch.Inst{
+		PC: 0x8040, Class: uarch.ClassBranch, BrKind: uarch.BrReturn,
+		Dst: uarch.RegNone, Taken: true, Target: 0x5004,
+	}
+	pr = p.Predict(&ret)
+	if !pr.TargetHit || pr.Target != 0x5004 {
+		t.Fatalf("RAS predicted %#x, want 0x5004 (call PC + 4)", pr.Target)
+	}
+}
+
+func TestMispredictRepairDeterminism(t *testing.T) {
+	// Two predictors fed the same stream, one experiencing mispredict
+	// repair, must converge to identical predictions afterwards.
+	mk := func() *Predictor { return New(rand.New(rand.NewSource(7))) }
+	p1, p2 := mk(), mk()
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 3000; i++ {
+		in := condBranch(0x6000+uint64(i%7)*4, rng.Float64() < 0.7)
+		pr1 := p1.Predict(&in)
+		pr2 := p2.Predict(&in)
+		p1.Resolve(&in, &pr1, pr1.Taken != in.Taken)
+		p2.Resolve(&in, &pr2, pr2.Taken != in.Taken)
+		if pr1.Taken != pr2.Taken {
+			t.Fatalf("divergence at step %d", i)
+		}
+	}
+}
+
+func TestRestoreFrom(t *testing.T) {
+	p := New(rand.New(rand.NewSource(9)))
+	in := condBranch(0x7000, true)
+	pr := p.Predict(&in)
+	before := p.History().Fold(3)
+	// Pollute the history with speculative garbage.
+	for i := 0; i < 20; i++ {
+		junk := condBranch(0x7100+uint64(i*4), i%2 == 0)
+		p.Predict(&junk)
+	}
+	p.RestoreFrom(&pr)
+	// After restore the history is exactly as before pr's own push was
+	// applied (RestoreFrom rewinds to pre-branch state).
+	_ = before
+	got := p.History().Snapshot()
+	if got != pr.Snapshot {
+		t.Fatal("RestoreFrom did not rewind history to the branch's snapshot")
+	}
+}

@@ -1,0 +1,205 @@
+// Package cache models the three-level cache hierarchy of Table I: L1I/L1D
+// 32KB 8-way, private L2 256KB 16-way, shared L3 6MB 24-way, all with 64B
+// lines, LRU replacement and 64 MSHRs, plus the stride (L1D) and stream
+// (L2/L3) prefetchers and the I/D TLBs.
+//
+// The model is timing-functional: an access returns the cycle at which the
+// data is available. Lines carry a fill time so that requests arriving while
+// a miss is outstanding merge with it (MSHR behaviour) instead of hitting
+// instantaneously.
+package cache
+
+const (
+	// LineBytes is the cache line size used throughout the hierarchy.
+	LineBytes = 64
+	lineShift = 6
+)
+
+// Backend is anything that can serve a miss (the next cache level or DRAM).
+type Backend interface {
+	// Access requests the line containing addr at the given cycle and
+	// returns the cycle at which the data is available to the requester.
+	Access(addr uint64, cycle uint64, write, prefetch bool) uint64
+}
+
+// Config sizes one cache level.
+type Config struct {
+	Name     string
+	SizeKB   int
+	Ways     int
+	Latency  uint64 // hit latency (load-to-use for L1D) in cycles
+	MSHRs    int
+	Prefetch Prefetcher // optional
+}
+
+type line struct {
+	tag      uint64
+	fillTime uint64 // cycle at which the line's data arrived
+	lru      uint64
+	valid    bool
+	prefetch bool // brought in by the prefetcher and not yet demanded
+}
+
+type mshr struct {
+	lineAddr uint64
+	fillTime uint64
+}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	nsets uint64
+	next  Backend
+	mshrs []mshr
+	tick  uint64
+
+	// Stats
+	Accesses, Misses, PrefetchIssued, PrefetchUseful, MSHRStalls uint64
+}
+
+// New builds a cache level in front of next.
+func New(cfg Config, next Backend) *Cache {
+	nsets := cfg.SizeKB * 1024 / LineBytes / cfg.Ways
+	c := &Cache{cfg: cfg, nsets: uint64(nsets), next: next}
+	c.sets = make([][]line, nsets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c
+}
+
+// Name returns the level's configured name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+func (c *Cache) findLine(lineAddr uint64) *line {
+	set := c.sets[lineAddr%c.nsets]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+func (c *Cache) victim(lineAddr uint64) *line {
+	set := c.sets[lineAddr%c.nsets]
+	v := &set[0]
+	for i := range set {
+		if !set[i].valid {
+			return &set[i]
+		}
+		if set[i].lru < v.lru {
+			v = &set[i]
+		}
+	}
+	return v
+}
+
+func (c *Cache) purgeMSHRs(cycle uint64) {
+	out := c.mshrs[:0]
+	for _, m := range c.mshrs {
+		if m.fillTime > cycle {
+			out = append(out, m)
+		}
+	}
+	c.mshrs = out
+}
+
+// Access implements Backend. Demand accesses train the prefetcher with the
+// requesting PC via AccessPC; plain Access uses PC 0.
+func (c *Cache) Access(addr uint64, cycle uint64, write, prefetch bool) uint64 {
+	return c.AccessPC(addr, 0, cycle, write, prefetch)
+}
+
+// AccessPC is Access with the requesting instruction's PC, which the stride
+// prefetcher needs.
+func (c *Cache) AccessPC(addr, pc uint64, cycle uint64, write, prefetch bool) uint64 {
+	lineAddr := addr >> lineShift
+	if !prefetch {
+		c.Accesses++
+	}
+	c.tick++
+
+	ready := c.lookupOrFill(lineAddr, cycle, write, prefetch)
+
+	if c.cfg.Prefetch != nil && !prefetch {
+		for _, target := range c.cfg.Prefetch.Observe(addr, pc, ready > cycle+c.cfg.Latency) {
+			c.PrefetchIssued++
+			c.lookupOrFill(target>>lineShift, cycle, false, true)
+		}
+	}
+	return ready
+}
+
+func (c *Cache) lookupOrFill(lineAddr, cycle uint64, write, prefetch bool) uint64 {
+	if l := c.findLine(lineAddr); l != nil {
+		l.lru = c.tick
+		if l.prefetch && !prefetch {
+			c.PrefetchUseful++
+			l.prefetch = false
+		}
+		// A hit on a still-filling line waits for the fill (MSHR merge).
+		start := cycle
+		if l.fillTime > start {
+			start = l.fillTime
+		}
+		return start + c.cfg.Latency
+	}
+
+	if !prefetch {
+		c.Misses++
+	}
+
+	// Merge with an outstanding miss if present.
+	c.purgeMSHRs(cycle)
+	for _, m := range c.mshrs {
+		if m.lineAddr == lineAddr {
+			return m.fillTime + c.cfg.Latency
+		}
+	}
+
+	// MSHR full: wait for the earliest retirement.
+	issueCycle := cycle
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		earliest := c.mshrs[0].fillTime
+		for _, m := range c.mshrs[1:] {
+			if m.fillTime < earliest {
+				earliest = m.fillTime
+			}
+		}
+		if !prefetch {
+			c.MSHRStalls++
+		} else {
+			return cycle // drop prefetches when MSHRs are exhausted
+		}
+		issueCycle = earliest
+		c.purgeMSHRs(issueCycle)
+	}
+
+	fill := c.next.Access(lineAddr<<lineShift, issueCycle+c.cfg.Latency, write, prefetch)
+	v := c.victim(lineAddr)
+	*v = line{tag: lineAddr, fillTime: fill, lru: c.tick, valid: true, prefetch: prefetch}
+	c.mshrs = append(c.mshrs, mshr{lineAddr: lineAddr, fillTime: fill})
+	return fill + c.cfg.Latency
+}
+
+// Contains reports whether the line holding addr is resident (for tests).
+func (c *Cache) Contains(addr uint64) bool { return c.findLine(addr>>lineShift) != nil }
+
+// MissRate returns misses/accesses for demand traffic.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// FixedLatency is a Backend with constant latency, useful for tests and as a
+// simple main-memory stand-in.
+type FixedLatency uint64
+
+// Access implements Backend.
+func (f FixedLatency) Access(_ uint64, cycle uint64, _, _ bool) uint64 {
+	return cycle + uint64(f)
+}

@@ -1,0 +1,197 @@
+package cache
+
+// Prefetcher observes demand accesses and proposes prefetch target addresses.
+type Prefetcher interface {
+	// Observe is called on each demand access with the address, the
+	// requesting PC (0 if unknown) and whether the access missed. It
+	// returns the addresses to prefetch (possibly none).
+	Observe(addr, pc uint64, miss bool) []uint64
+}
+
+// StridePrefetcher is the per-PC stride prefetcher attached to the L1D
+// (Table I: "Stride prefetcher (degree 1)"). It tracks the last address and
+// stride per load PC and, once the stride is confirmed, issues degree
+// prefetches starting distance strides ahead (lookahead covers the memory
+// latency; degree stays 1 as in Table I).
+type StridePrefetcher struct {
+	entries  []strideEntry
+	degree   int
+	distance int64
+	scratch  []uint64
+}
+
+type strideEntry struct {
+	pc     uint64
+	last   uint64
+	stride int64
+	conf   uint8
+	valid  bool
+}
+
+// NewStride returns a stride prefetcher with the given table size and degree
+// and a default lookahead distance of 16 strides.
+func NewStride(entries, degree int) *StridePrefetcher {
+	return &StridePrefetcher{entries: make([]strideEntry, entries), degree: degree, distance: 16}
+}
+
+// Observe implements Prefetcher.
+func (s *StridePrefetcher) Observe(addr, pc uint64, _ bool) []uint64 {
+	if pc == 0 {
+		return nil
+	}
+	e := &s.entries[(pc>>2)%uint64(len(s.entries))]
+	if !e.valid || e.pc != pc {
+		*e = strideEntry{pc: pc, last: addr, valid: true}
+		return nil
+	}
+	stride := int64(addr) - int64(e.last)
+	e.last = addr
+	if stride == 0 {
+		return nil
+	}
+	if stride == e.stride {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		e.conf = 0
+		return nil
+	}
+	if e.conf < 2 {
+		return nil
+	}
+	s.scratch = s.scratch[:0]
+	next := int64(addr) + stride*s.distance
+	for i := 0; i < s.degree; i++ {
+		if next > 0 {
+			s.scratch = append(s.scratch, uint64(next))
+		}
+		next += stride
+	}
+	return s.scratch
+}
+
+// StreamPrefetcher is the sequential stream prefetcher attached to L2 and L3
+// (Table I: "Stream prefetcher (degree 1)"). It detects ascending or
+// descending line streams within 4KB regions and prefetches the next line(s)
+// of a confirmed stream on each miss.
+type StreamPrefetcher struct {
+	streams []streamEntry
+	degree  int
+	clock   uint64
+	scratch []uint64
+}
+
+type streamEntry struct {
+	lastLine uint64
+	dir      int64 // +1 or -1
+	conf     uint8
+	lru      uint64
+	valid    bool
+}
+
+// NewStream returns a stream prefetcher tracking the given number of
+// concurrent streams.
+func NewStream(streams, degree int) *StreamPrefetcher {
+	return &StreamPrefetcher{streams: make([]streamEntry, streams), degree: degree}
+}
+
+// Observe implements Prefetcher.
+func (s *StreamPrefetcher) Observe(addr, _ uint64, miss bool) []uint64 {
+	if !miss {
+		return nil
+	}
+	line := addr >> lineShift
+	s.clock++
+
+	// Find a stream this miss extends.
+	for i := range s.streams {
+		e := &s.streams[i]
+		if !e.valid {
+			continue
+		}
+		d := int64(line) - int64(e.lastLine)
+		if d == e.dir || (e.conf == 0 && (d == 1 || d == -1)) {
+			e.dir = d
+			e.lastLine = line
+			e.lru = s.clock
+			if e.conf < 3 {
+				e.conf++
+			}
+			if e.conf < 2 {
+				return nil
+			}
+			s.scratch = s.scratch[:0]
+			next := int64(line) + e.dir*4 // run ahead of the stream
+			for k := 0; k < s.degree; k++ {
+				if next >= 0 {
+					s.scratch = append(s.scratch, uint64(next)<<lineShift)
+				}
+				next += e.dir
+			}
+			return s.scratch
+		}
+	}
+
+	// Allocate a new stream over the LRU victim.
+	victim := 0
+	for i := range s.streams {
+		if !s.streams[i].valid {
+			victim = i
+			break
+		}
+		if s.streams[i].lru < s.streams[victim].lru {
+			victim = i
+		}
+	}
+	s.streams[victim] = streamEntry{lastLine: line, dir: 1, lru: s.clock, valid: true}
+	return nil
+}
+
+// TLB is a fully associative, LRU translation buffer. Translation is
+// identity (the workloads use flat addressing); only timing matters: a miss
+// charges the page-walk penalty.
+type TLB struct {
+	entries []tlbEntry
+	walk    uint64
+	clock   uint64
+
+	Accesses, Misses uint64
+}
+
+type tlbEntry struct {
+	page  uint64
+	lru   uint64
+	valid bool
+}
+
+const pageShift = 12
+
+// NewTLB returns a TLB with the given entry count and page-walk latency.
+func NewTLB(entries int, walkLatency uint64) *TLB {
+	return &TLB{entries: make([]tlbEntry, entries), walk: walkLatency}
+}
+
+// Lookup translates addr, returning the extra latency incurred (0 on hit).
+func (t *TLB) Lookup(addr uint64) uint64 {
+	page := addr >> pageShift
+	t.Accesses++
+	t.clock++
+	victim := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.page == page {
+			e.lru = t.clock
+			return 0
+		}
+		if !e.valid {
+			victim = i
+		} else if t.entries[victim].valid && e.lru < t.entries[victim].lru {
+			victim = i
+		}
+	}
+	t.Misses++
+	t.entries[victim] = tlbEntry{page: page, lru: t.clock, valid: true}
+	return t.walk
+}

@@ -1,0 +1,178 @@
+// Package config defines the simulated core configuration. TableI() is the
+// paper's Table I machine: an aggressive 8-wide out-of-order core on par
+// with Intel Haswell, with a three-level cache hierarchy and DDR4-2400
+// memory. Presets derive the experiment configurations of §VI from it.
+package config
+
+import (
+	"rsepsim/internal/rsep"
+	"rsepsim/internal/vpred"
+)
+
+// Config is the full machine configuration consumed by the pipeline.
+type Config struct {
+	// Core widths (Table I).
+	FetchWidth  int
+	DecodeWidth int
+	RenameWidth int
+	IssueWidth  int
+	CommitWidth int
+
+	// Window sizes.
+	ROBSize int
+	IQSize  int
+	LQSize  int
+	SQSize  int
+
+	// Physical registers (per class, excluding the hardwired zero reg).
+	IntPRegs int
+	FPPRegs  int
+
+	// Front end: cycles from fetch to rename (sets the branch
+	// misprediction penalty floor of ~17 cycles together with resolve
+	// latency), fetch queue capacity, max taken branches per fetch group.
+	FrontendDepth  int
+	FetchQueue     int
+	TakenPerFetch  int
+	BTBMissPenalty int
+	ZeroIdiomElim  bool // baseline includes zero-idiom elimination (Table I)
+
+	// Execution latencies (cycles).
+	IntAluLat, IntMulLat, IntDivLat uint64
+	FPAluLat, FPMulLat, FPDivLat    uint64
+	DivPipelined                    bool
+	STLFLat                         uint64
+
+	// Memory hierarchy.
+	CPUFreqGHz  float64
+	L1ILatency  uint64
+	L1DLatency  uint64
+	L2Latency   uint64
+	L3Latency   uint64
+	L1SizeKB    int
+	L1Ways      int
+	L2SizeKB    int
+	L2Ways      int
+	L3SizeKB    int
+	L3Ways      int
+	MSHRs       int
+	ITLBEntries int
+	DTLBEntries int
+	TLBWalkLat  uint64
+
+	// Store sets.
+	SSITEntries int
+	LFSTEntries int
+
+	// Optional mechanisms.
+	MoveElim bool
+	ZeroPred bool // standalone zero prediction (without distance prediction)
+	RSEP     *rsep.Config
+	VP       *vpred.Config
+
+	// OracleProbe enables the Figure 1 commit-time analysis (live-PRF
+	// value multiset).
+	OracleProbe bool
+
+	// Seed for the predictors' tie-breaking RNG.
+	Seed int64
+}
+
+// TableI returns the baseline configuration of the paper's Table I.
+func TableI() *Config {
+	return &Config{
+		FetchWidth:  8,
+		DecodeWidth: 8,
+		RenameWidth: 8,
+		IssueWidth:  8,
+		CommitWidth: 8,
+
+		ROBSize: 192,
+		IQSize:  60,
+		LQSize:  72,
+		SQSize:  48,
+
+		IntPRegs: 235,
+		FPPRegs:  235,
+
+		FrontendDepth:  12,
+		FetchQueue:     48,
+		TakenPerFetch:  1,
+		BTBMissPenalty: 6,
+		ZeroIdiomElim:  true,
+
+		IntAluLat: 1, IntMulLat: 3, IntDivLat: 25,
+		FPAluLat: 3, FPMulLat: 3, FPDivLat: 11,
+		DivPipelined: false,
+		STLFLat:      4,
+
+		CPUFreqGHz: 3.2,
+		L1ILatency: 1,
+		L1DLatency: 4,
+		L2Latency:  12,
+		L3Latency:  21,
+		L1SizeKB:   32, L1Ways: 8,
+		L2SizeKB: 256, L2Ways: 16,
+		L3SizeKB: 6 * 1024, L3Ways: 24,
+		MSHRs:       64,
+		ITLBEntries: 128,
+		DTLBEntries: 64,
+		TLBWalkLat:  30,
+
+		SSITEntries: 2048,
+		LFSTEntries: 1024,
+
+		Seed: 1,
+	}
+}
+
+// Clone returns a deep copy (the RSEP and VP sub-configs are copied too).
+func (c *Config) Clone() *Config {
+	out := *c
+	if c.RSEP != nil {
+		r := *c.RSEP
+		out.RSEP = &r
+	}
+	if c.VP != nil {
+		v := *c.VP
+		out.VP = &v
+	}
+	return &out
+}
+
+// WithZeroPred returns a copy with standalone zero prediction enabled.
+func (c *Config) WithZeroPred() *Config {
+	out := c.Clone()
+	out.ZeroPred = true
+	return out
+}
+
+// WithMoveElim returns a copy with move elimination enabled.
+func (c *Config) WithMoveElim() *Config {
+	out := c.Clone()
+	out.MoveElim = true
+	return out
+}
+
+// WithRSEP returns a copy running RSEP with the given configuration.
+// RSEP runs include move elimination and zero prediction (§VI-A1).
+func (c *Config) WithRSEP(r rsep.Config) *Config {
+	out := c.Clone()
+	out.RSEP = &r
+	out.MoveElim = out.MoveElim || r.MoveElim
+	return out
+}
+
+// WithVP returns a copy running D-VTAGE value prediction.
+func (c *Config) WithVP(v vpred.Config) *Config {
+	out := c.Clone()
+	out.VP = &v
+	return out
+}
+
+// WithOracle returns a copy with the Figure 1 oracle probe enabled.
+func (c *Config) WithOracle() *Config {
+	out := c.Clone()
+	out.OracleProbe = true
+	return out
+}

@@ -1,0 +1,79 @@
+package config
+
+import (
+	"testing"
+
+	"rsepsim/internal/rsep"
+	"rsepsim/internal/vpred"
+)
+
+func TestTableIValues(t *testing.T) {
+	c := TableI()
+	// Spot-check the Table I parameters.
+	checks := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"fetch width", c.FetchWidth, 8},
+		{"ROB", c.ROBSize, 192},
+		{"IQ", c.IQSize, 60},
+		{"LQ", c.LQSize, 72},
+		{"SQ", c.SQSize, 48},
+		{"INT pregs", c.IntPRegs, 235},
+		{"FP pregs", c.FPPRegs, 235},
+		{"SSIT", c.SSITEntries, 2048},
+		{"LFST", c.LFSTEntries, 1024},
+		{"L1 KB", c.L1SizeKB, 32},
+		{"L2 KB", c.L2SizeKB, 256},
+		{"L3 KB", c.L3SizeKB, 6144},
+	}
+	for _, ch := range checks {
+		if ch.got != ch.want {
+			t.Errorf("%s = %d, want %d", ch.name, ch.got, ch.want)
+		}
+	}
+	if c.IntDivLat != 25 || c.FPDivLat != 11 || c.DivPipelined {
+		t.Error("divider latencies/pipelining do not match Table I")
+	}
+	if c.L1DLatency != 4 || c.L2Latency != 12 || c.L3Latency != 21 {
+		t.Error("cache latencies do not match Table I")
+	}
+	if !c.ZeroIdiomElim {
+		t.Error("Table I baseline includes zero-idiom elimination")
+	}
+	if c.RSEP != nil || c.VP != nil || c.MoveElim || c.ZeroPred {
+		t.Error("baseline must not enable optional mechanisms")
+	}
+}
+
+func TestPresetsAreIndependentCopies(t *testing.T) {
+	base := TableI()
+	r := base.WithRSEP(rsep.Ideal())
+	v := base.WithVP(vpred.BeBoP())
+	if base.RSEP != nil || base.VP != nil {
+		t.Fatal("presets mutated the base config")
+	}
+	if r.RSEP == nil || !r.MoveElim {
+		t.Fatal("WithRSEP must enable RSEP and its move elimination")
+	}
+	if v.VP == nil || v.RSEP != nil {
+		t.Fatal("WithVP wrong")
+	}
+	// Mutating a clone's sub-config must not leak.
+	r2 := r.Clone()
+	r2.RSEP.HistEntries = 1
+	if r.RSEP.HistEntries == 1 {
+		t.Fatal("Clone shares RSEP sub-config")
+	}
+	combined := base.WithRSEP(rsep.Realistic()).WithVP(vpred.BeBoP())
+	if combined.RSEP == nil || combined.VP == nil {
+		t.Fatal("combination lost a mechanism")
+	}
+	if !base.WithOracle().OracleProbe {
+		t.Fatal("WithOracle lost the flag")
+	}
+	if !base.WithZeroPred().ZeroPred || !base.WithMoveElim().MoveElim {
+		t.Fatal("simple presets broken")
+	}
+}

@@ -1,0 +1,116 @@
+// Package dram models the Table I main memory: dual-channel DDR4-2400
+// (17-17-17), 2 ranks/channel, 8 banks/rank, 8KB row buffers, periodic
+// refresh (tREFI 7.8us). The model tracks per-bank open rows and busy times
+// so that row hits, row conflicts and bank contention produce the paper's
+// latency spread (36 ns minimum read latency, ~75 ns average).
+package dram
+
+// Config holds the memory geometry and timing. Times are in CPU cycles; use
+// NewDDR4_2400 for the Table I part at a given core frequency.
+type Config struct {
+	Channels, Ranks, Banks int
+	RowBytes               uint64
+
+	TCAS, TRCD, TRP uint64 // DRAM timing in CPU cycles
+	TBurst          uint64 // data burst
+	Overhead        uint64 // controller + interconnect fixed cost
+	TRefi, TRfc     uint64 // refresh interval and duration
+}
+
+// NewDDR4_2400 returns the Table I configuration for a core running at
+// cpuGHz. DDR4-2400 17-17-17 has tCAS = tRCD = tRP = 14.17 ns.
+func NewDDR4_2400(cpuGHz float64) Config {
+	ns := func(x float64) uint64 { return uint64(x*cpuGHz + 0.5) }
+	return Config{
+		Channels: 2,
+		Ranks:    2,
+		Banks:    8,
+		RowBytes: 8 * 1024,
+		TCAS:     ns(14.17),
+		TRCD:     ns(14.17),
+		TRP:      ns(14.17),
+		TBurst:   ns(3.33),
+		// Fixed controller/queueing overhead chosen so a row hit costs
+		// ~36 ns end to end, matching Table I's minimum read latency.
+		Overhead: ns(18.5),
+		TRefi:    ns(7800),
+		TRfc:     ns(350),
+	}
+}
+
+type bank struct {
+	openRow   uint64
+	rowValid  bool
+	busyUntil uint64
+}
+
+// Memory is the DRAM timing model. It implements cache.Backend.
+type Memory struct {
+	cfg   Config
+	banks []bank
+
+	Reads, RowHits, RowConflicts uint64
+	totalLatency                 uint64
+}
+
+// New builds a memory from cfg.
+func New(cfg Config) *Memory {
+	return &Memory{cfg: cfg, banks: make([]bank, cfg.Channels*cfg.Ranks*cfg.Banks)}
+}
+
+func (m *Memory) decode(addr uint64) (bankIdx int, row uint64) {
+	line := addr >> 6
+	ch := line % uint64(m.cfg.Channels)
+	rk := (line >> 1) % uint64(m.cfg.Ranks)
+	bk := (line >> 2) % uint64(m.cfg.Banks)
+	bankIdx = int(ch)*m.cfg.Ranks*m.cfg.Banks + int(rk)*m.cfg.Banks + int(bk)
+	row = addr / (m.cfg.RowBytes * uint64(m.cfg.Channels))
+	return
+}
+
+// Access implements cache.Backend: it returns the cycle at which the line
+// containing addr is available.
+func (m *Memory) Access(addr uint64, cycle uint64, write, prefetch bool) uint64 {
+	bi, row := m.decode(addr)
+	b := &m.banks[bi]
+
+	start := cycle
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+
+	// Refresh: steal tRFC when a refresh window boundary is crossed.
+	if m.cfg.TRefi > 0 && (start/m.cfg.TRefi) != (cycle/m.cfg.TRefi) {
+		start += m.cfg.TRfc
+	}
+
+	var lat uint64
+	switch {
+	case b.rowValid && b.openRow == row:
+		m.RowHits++
+		lat = m.cfg.TCAS
+	case !b.rowValid:
+		lat = m.cfg.TRCD + m.cfg.TCAS
+	default:
+		m.RowConflicts++
+		lat = m.cfg.TRP + m.cfg.TRCD + m.cfg.TCAS
+	}
+	lat += m.cfg.TBurst + m.cfg.Overhead
+
+	b.openRow, b.rowValid = row, true
+	done := start + lat
+	b.busyUntil = start + lat - m.cfg.Overhead // overhead is off-bank
+	if !prefetch && !write {
+		m.Reads++
+		m.totalLatency += done - cycle
+	}
+	return done
+}
+
+// AvgReadLatency returns the mean demand-read latency in cycles.
+func (m *Memory) AvgReadLatency() float64 {
+	if m.Reads == 0 {
+		return 0
+	}
+	return float64(m.totalLatency) / float64(m.Reads)
+}

@@ -1,0 +1,59 @@
+package dram
+
+import "testing"
+
+func TestMinimumReadLatency(t *testing.T) {
+	// Table I: minimum read latency 36 ns. At 3.2 GHz that is ~115
+	// cycles for a row hit.
+	m := New(NewDDR4_2400(3.2))
+	m.Access(0, 0, false, false) // opens the row
+	start := uint64(10_000)
+	done := m.Access(0, start, false, false)
+	lat := float64(done-start) / 3.2 // back to ns
+	if lat < 30 || lat > 45 {
+		t.Fatalf("row-hit latency = %.1f ns, want ~36 ns", lat)
+	}
+}
+
+func TestRowConflictCostsMore(t *testing.T) {
+	m := New(NewDDR4_2400(3.2))
+	cfg := NewDDR4_2400(3.2)
+	rowBytes := cfg.RowBytes * uint64(cfg.Channels)
+	m.Access(0, 0, false, false)
+	hit := m.Access(8, 100_000, false, false) - 100_000
+	conflict := m.Access(rowBytes*4, 200_000, false, false) - 200_000
+	if conflict <= hit {
+		t.Fatalf("row conflict (%d) not slower than row hit (%d)", conflict, hit)
+	}
+}
+
+func TestBankContention(t *testing.T) {
+	m := New(NewDDR4_2400(3.2))
+	// Two back-to-back accesses to the same bank: the second waits.
+	first := m.Access(0, 0, false, false)
+	second := m.Access(1<<20, 1, false, false) // may be a different bank
+	same := m.Access(8, 1, false, false)       // same line -> same bank
+	if same <= first-20 {
+		t.Fatalf("same-bank access %d did not queue behind %d", same, first)
+	}
+	_ = second
+}
+
+func TestStatsTracking(t *testing.T) {
+	m := New(NewDDR4_2400(3.2))
+	for i := 0; i < 10; i++ {
+		m.Access(uint64(i)*64, uint64(i)*1000, false, false)
+	}
+	if m.Reads != 10 {
+		t.Fatalf("Reads = %d", m.Reads)
+	}
+	if m.AvgReadLatency() <= 0 {
+		t.Fatal("no average latency recorded")
+	}
+	// Prefetch and write traffic is not counted as demand reads.
+	m.Access(0x100000, 0, false, true)
+	m.Access(0x200000, 0, true, false)
+	if m.Reads != 10 {
+		t.Fatal("non-demand traffic counted as reads")
+	}
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rsepsim/internal/config"
+	"rsepsim/internal/metrics"
+	"rsepsim/internal/rsep"
+)
+
+// HistoryDepth reproduces the §VI-A2 sweep: RSEP speedup as a function of
+// the FIFO history depth (32..256 and unbounded), plus the DDT alternative
+// — the paper's finding is that 128 entries suffice except for hmmer and
+// xalancbmk, that 32 captures most of the potential, and that the FIFO beats
+// even an unrealistic 16KB DDT because it can privilege the predicted
+// distance over chance matches.
+func HistoryDepth(opt Options) (*metrics.Table, error) {
+	opt = opt.Defaults()
+	base := config.TableI()
+	depths := []int{32, 64, 128, 256, 0}
+	cfgs := []*config.Config{base}
+	names := []string{}
+	for _, d := range depths {
+		rc := rsep.Ideal()
+		rc.HistEntries = d
+		cfgs = append(cfgs, base.WithRSEP(rc))
+		if d == 0 {
+			names = append(names, "FIFO(unbounded)")
+		} else {
+			names = append(names, fmt.Sprintf("FIFO(%d)", d))
+		}
+	}
+	ddt := rsep.Ideal()
+	ddt.Pairer = rsep.PairDDT
+	ddt.DDTEntries = 8192 // the "unrealistic 16KB DDT"
+	cfgs = append(cfgs, base.WithRSEP(ddt))
+	names = append(names, "DDT(16KB)")
+
+	res, err := Sweep(cfgs, opt)
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title:  "§VI-A2: FIFO history depth and DDT comparison (speedup over baseline)",
+		Header: append([]string{"benchmark"}, names...),
+	}
+	for i, name := range opt.Benchmarks {
+		b := res[i][0].IPC
+		row := []string{name}
+		for ci := 1; ci < len(cfgs); ci++ {
+			row = append(row, speedupStr(b, res[i][ci].IPC))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// ISRBSweep reproduces §VI-A3: RSEP speedup as a function of the ISRB size;
+// the paper finds 24 entries of two 6-bit counters are not detrimental.
+func ISRBSweep(opt Options) (*metrics.Table, error) {
+	opt = opt.Defaults()
+	base := config.TableI()
+	sizes := []int{4, 8, 16, 24, 48, 0}
+	cfgs := []*config.Config{base}
+	names := []string{}
+	for _, n := range sizes {
+		rc := rsep.Ideal()
+		rc.ISRBEntries = n
+		cfgs = append(cfgs, base.WithRSEP(rc))
+		if n == 0 {
+			names = append(names, "ISRB(unbounded)")
+		} else {
+			names = append(names, fmt.Sprintf("ISRB(%d)", n))
+		}
+	}
+	res, err := Sweep(cfgs, opt)
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title:  "§VI-A3: ISRB size sweep (speedup over baseline)",
+		Header: append([]string{"benchmark"}, names...),
+	}
+	for i, name := range opt.Benchmarks {
+		b := res[i][0].IPC
+		row := []string{name}
+		for ci := 1; ci < len(cfgs); ci++ {
+			row = append(row, speedupStr(b, res[i][ci].IPC))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// HashWidth reproduces the §IV-A trade-off: speedup and mispredict count as
+// a function of the result-hash width (narrow hashes create false-positive
+// pairs that train the predictor on accidental equality).
+func HashWidth(opt Options) (*metrics.Table, error) {
+	opt = opt.Defaults()
+	base := config.TableI()
+	widths := []int{8, 10, 12, 14, 16}
+	cfgs := []*config.Config{base}
+	for _, w := range widths {
+		rc := rsep.Ideal()
+		rc.HashBits = w
+		cfgs = append(cfgs, base.WithRSEP(rc))
+	}
+	res, err := Sweep(cfgs, opt)
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title:  "§IV-A: hash width trade-off",
+		Header: []string{"benchmark", "hash8", "hash10", "hash12", "hash14", "hash16", "mispredicts@8", "mispredicts@14"},
+	}
+	for i, name := range opt.Benchmarks {
+		b := res[i][0].IPC
+		row := []string{name}
+		for ci := 1; ci < len(cfgs); ci++ {
+			row = append(row, speedupStr(b, res[i][ci].IPC))
+		}
+		row = append(row,
+			fmt.Sprint(res[i][1].Stats.DistMispredicts),
+			fmt.Sprint(res[i][4].Stats.DistMispredicts))
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Comparators reproduces the §IV-D2 commit-group statistics: how many
+// eligible (register-producing) instructions retire together, i.e. how many
+// FIFO-history comparators a commit group needs. The paper reports 6
+// comparators suffice in >95% of groups and 4 in >70%, with lbm and gamess
+// as the outliers that frequently retire 8 eligible instructions.
+func Comparators(opt Options) (*metrics.Table, error) {
+	opt = opt.Defaults()
+	res, err := Sweep([]*config.Config{config.TableI()}, opt)
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title:  "§IV-D2: eligible instructions per commit group (cumulative % of groups)",
+		Header: []string{"benchmark", "<=4", "<=6", "<=7", "=8"},
+	}
+	for i, name := range opt.Benchmarks {
+		st := &res[i][0].Stats
+		var total uint64
+		for _, n := range st.CommitEligibleHist {
+			total += n
+		}
+		if total == 0 {
+			total = 1
+		}
+		cum := func(upto int) float64 {
+			var c uint64
+			for k := 0; k <= upto; k++ {
+				c += st.CommitEligibleHist[k]
+			}
+			return float64(c) / float64(total)
+		}
+		t.AddRow(name,
+			metrics.Pct(cum(4)), metrics.Pct(cum(6)), metrics.Pct(cum(7)),
+			metrics.Pct(float64(st.CommitEligibleHist[8])/float64(total)))
+	}
+	return t, nil
+}
+
+// GShareVsTAGE compares the TAGE distance predictor against the gshare-style
+// predictor of Sha et al. (§IV-C: "a TAGE-like structure ... outperformed a
+// gshare-like predictor").
+func GShareVsTAGE(opt Options) (*metrics.Table, error) {
+	opt = opt.Defaults()
+	base := config.TableI()
+	tage := rsep.Ideal()
+	gsh := rsep.Ideal()
+	gsh.Predictor = rsep.PredGShare
+	cfgs := []*config.Config{base, base.WithRSEP(tage), base.WithRSEP(gsh)}
+	res, err := Sweep(cfgs, opt)
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title:  "§IV-C: TAGE vs gshare distance predictor (speedup over baseline)",
+		Header: []string{"benchmark", "TAGE", "gshare", "TAGE coverage", "gshare coverage"},
+	}
+	for i, name := range opt.Benchmarks {
+		b := res[i][0].IPC
+		st1, st2 := &res[i][1].Stats, &res[i][2].Stats
+		t.AddRow(name,
+			speedupStr(b, res[i][1].IPC), speedupStr(b, res[i][2].IPC),
+			metrics.Pct(st1.Frac(st1.DistPred)), metrics.Pct(st2.Frac(st2.DistPred)))
+	}
+	return t, nil
+}
+
+// TableIReport prints the simulated machine configuration (the paper's
+// Table I).
+func TableIReport() *metrics.Table {
+	c := config.TableI()
+	t := &metrics.Table{Title: "Table I: simulator configuration", Header: []string{"parameter", "value"}}
+	t.AddRow("front end", fmt.Sprintf("%d-wide fetch over %d taken branch, %d-wide decode/rename",
+		c.FetchWidth, c.TakenPerFetch, c.DecodeWidth))
+	t.AddRow("branch predictor", "TAGE 1+12 components (~16K entries), 2-way 4K BTB, 32-entry RAS")
+	t.AddRow("window", fmt.Sprintf("%d-entry ROB, %d-entry IQ, %d/%d LQ/SQ", c.ROBSize, c.IQSize, c.LQSize, c.SQSize))
+	t.AddRow("registers", fmt.Sprintf("%d INT + %d FP physical registers", c.IntPRegs, c.FPPRegs))
+	t.AddRow("issue", fmt.Sprintf("%d-issue: 4 ALU (1 mul %dc, 1 div %dc*), 3 FP (%dc; div %dc*), 2 ld/st, 1 st",
+		c.IssueWidth, c.IntMulLat, c.IntDivLat, c.FPAluLat, c.FPDivLat))
+	t.AddRow("store sets", fmt.Sprintf("%d-entry SSIT, %d-entry LFST (not rolled back)", c.SSITEntries, c.LFSTEntries))
+	t.AddRow("L1I/L1D", fmt.Sprintf("%dKB %d-way, %dc/%dc, stride prefetcher", c.L1SizeKB, c.L1Ways, c.L1ILatency, c.L1DLatency))
+	t.AddRow("L2", fmt.Sprintf("%dKB %d-way, %dc, stream prefetcher", c.L2SizeKB, c.L2Ways, c.L2Latency))
+	t.AddRow("L3", fmt.Sprintf("%dMB %d-way, %dc, stream prefetcher", c.L3SizeKB/1024, c.L3Ways, c.L3Latency))
+	t.AddRow("memory", fmt.Sprintf("dual-channel DDR4-2400 (17-17-17), %.1fGHz core", c.CPUFreqGHz))
+	t.AddRow("STLF", fmt.Sprintf("%d cycles", c.STLFLat))
+	return t
+}

@@ -1,0 +1,198 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md §4 for the experiment index). Each
+// runner simulates the benchmark suite under the relevant configurations and
+// renders a metrics.Table whose rows mirror the figure's series.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"rsepsim/internal/config"
+	"rsepsim/internal/metrics"
+	"rsepsim/internal/pipeline"
+	"rsepsim/internal/workload"
+)
+
+// Options controls the simulation protocol: the paper uses 10 checkpoints of
+// 50M warmup + 100M measured instructions per benchmark; the reproduction
+// defaults to laptop-scale equivalents (see DESIGN.md §6).
+type Options struct {
+	Benchmarks  []string // nil = the full 29-benchmark suite
+	Segments    int      // "checkpoints" per benchmark
+	Warmup      uint64   // warmup instructions per segment
+	Measure     uint64   // measured instructions per segment
+	BaseSeed    int64
+	Parallelism int // concurrent simulations (default: NumCPU)
+}
+
+// Defaults fills unset fields.
+func (o Options) Defaults() Options {
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = workload.Names()
+	}
+	if o.Segments == 0 {
+		o.Segments = 2
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 100_000
+	}
+	if o.Measure == 0 {
+		o.Measure = 200_000
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 1000
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.NumCPU()
+	}
+	return o
+}
+
+// Result is the aggregate of one benchmark under one configuration.
+type Result struct {
+	Bench string
+	IPC   float64 // harmonic mean over segments
+	Stats metrics.Stats
+}
+
+// runOne simulates one segment and returns its stats.
+func runOne(bench string, cfg *config.Config, seed int64, warm, measure uint64) (*metrics.Stats, error) {
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.Clone()
+	cfg.Seed = seed
+	core := pipeline.New(cfg, workload.New(prof, seed))
+	core.Run(warm)
+	core.ResetStats()
+	core.Run(measure)
+	return core.Stats(), nil
+}
+
+// Run simulates bench under cfg across the configured segments.
+func Run(bench string, cfg *config.Config, opt Options) (Result, error) {
+	ipcs := make([]float64, 0, opt.Segments)
+	var agg metrics.Stats
+	for s := 0; s < opt.Segments; s++ {
+		st, err := runOne(bench, cfg, opt.BaseSeed+int64(s), opt.Warmup, opt.Measure)
+		if err != nil {
+			return Result{}, err
+		}
+		ipcs = append(ipcs, st.IPC())
+		addStats(&agg, st)
+	}
+	return Result{Bench: bench, IPC: metrics.HarmonicMean(ipcs), Stats: agg}, nil
+}
+
+func addStats(dst, src *metrics.Stats) {
+	dst.Cycles += src.Cycles
+	dst.Committed += src.Committed
+	dst.CommittedLoads += src.CommittedLoads
+	dst.CommittedStores += src.CommittedStores
+	dst.CommittedBranches += src.CommittedBranches
+	dst.Eligible += src.Eligible
+	dst.ZeroIdiomElim += src.ZeroIdiomElim
+	dst.MoveElim += src.MoveElim
+	dst.ZeroPred += src.ZeroPred
+	dst.ZeroPredLoad += src.ZeroPredLoad
+	dst.DistPred += src.DistPred
+	dst.DistPredLoad += src.DistPredLoad
+	dst.ValuePred += src.ValuePred
+	dst.ValuePredLoad += src.ValuePredLoad
+	dst.DistMispredicts += src.DistMispredicts
+	dst.ZeroMispredicts += src.ZeroMispredicts
+	dst.ValueMispredicts += src.ValueMispredicts
+	dst.BranchMispredicts += src.BranchMispredicts
+	dst.MemOrderSquashes += src.MemOrderSquashes
+	dst.Squashes += src.Squashes
+	dst.ValidationUops += src.ValidationUops
+	dst.OracleZeroLoad += src.OracleZeroLoad
+	dst.OracleZeroOther += src.OracleZeroOther
+	dst.OraclePRFLoad += src.OraclePRFLoad
+	dst.OraclePRFOther += src.OraclePRFOther
+	for i := range dst.CommitEligibleHist {
+		dst.CommitEligibleHist[i] += src.CommitEligibleHist[i]
+	}
+	dst.L1DAccesses += src.L1DAccesses
+	dst.L1DMisses += src.L1DMisses
+	dst.L2Misses += src.L2Misses
+	dst.L3Misses += src.L3Misses
+	dst.DRAMReads += src.DRAMReads
+}
+
+// Sweep runs every benchmark under every configuration concurrently and
+// returns results[benchIndex][configIndex].
+func Sweep(cfgs []*config.Config, opt Options) ([][]Result, error) {
+	opt = opt.Defaults()
+	results := make([][]Result, len(opt.Benchmarks))
+	for i := range results {
+		results[i] = make([]Result, len(cfgs))
+	}
+	type job struct{ bi, ci int }
+	jobs := make(chan job)
+	errs := make(chan error, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r, err := Run(opt.Benchmarks[j.bi], cfgs[j.ci], opt)
+				if err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					continue
+				}
+				results[j.bi][j.ci] = r
+			}
+		}()
+	}
+	for bi := range opt.Benchmarks {
+		for ci := range cfgs {
+			jobs <- job{bi, ci}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return results, nil
+}
+
+// GeoMean returns the geometric mean of xs.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+func speedupStr(base, v float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(v/base-1))
+}
+
+func sortedCopy(names []string) []string {
+	out := append([]string(nil), names...)
+	sort.Strings(out)
+	return out
+}

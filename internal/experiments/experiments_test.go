@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rsepsim/internal/config"
+	"rsepsim/internal/metrics"
+)
+
+// tiny returns options small enough for unit testing.
+func tiny(benches ...string) Options {
+	return Options{
+		Benchmarks: benches,
+		Segments:   1,
+		Warmup:     20_000,
+		Measure:    30_000,
+		BaseSeed:   5,
+	}
+}
+
+func checkTable(t *testing.T, tbl *metrics.Table, wantRows int) {
+	t.Helper()
+	if len(tbl.Header) == 0 {
+		t.Fatal("table has no header")
+	}
+	if len(tbl.Rows) < wantRows {
+		t.Fatalf("table has %d rows, want >= %d", len(tbl.Rows), wantRows)
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Header) {
+			t.Fatalf("row width %d != header width %d: %v", len(row), len(tbl.Header), row)
+		}
+	}
+}
+
+func TestRunProducesStats(t *testing.T) {
+	res, err := Run("gamess", config.TableI(), tiny("gamess").Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 {
+		t.Fatal("no IPC measured")
+	}
+	if res.Stats.Committed == 0 {
+		t.Fatal("no instructions committed")
+	}
+}
+
+func TestSweepParallelism(t *testing.T) {
+	opt := tiny("gamess", "hmmer")
+	opt.Parallelism = 4
+	res, err := Sweep([]*config.Config{config.TableI(), config.TableI()}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || len(res[0]) != 2 {
+		t.Fatalf("result shape %dx%d", len(res), len(res[0]))
+	}
+	// The same config must give identical results for the same bench.
+	if res[0][0].IPC != res[0][1].IPC {
+		t.Fatalf("identical configs diverged: %f vs %f", res[0][0].IPC, res[0][1].IPC)
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	tbl, err := Figure1(tiny("zeusmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl, 1)
+	// zeusmp's zero ratio must be visibly elevated (Figure 1 outlier).
+	row := tbl.Rows[0]
+	if !strings.Contains(row[0], "zeusmp") {
+		t.Fatalf("unexpected row %v", row)
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	tbl, err := Figure4(tiny("hmmer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl, 2) // benchmark + geomean
+	if tbl.Rows[len(tbl.Rows)-1][0] != "geomean" {
+		t.Fatal("missing geomean summary row")
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	tbl, err := Figure5(tiny("libquantum"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl, 2) // RSEP row + RSEP+VP row
+}
+
+func TestFigure6(t *testing.T) {
+	tbl, err := Figure6(tiny("mcf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl, 1)
+	if len(tbl.Header) != 6 { // benchmark + 5 validation variants
+		t.Fatalf("header %v", tbl.Header)
+	}
+}
+
+func TestFigure7(t *testing.T) {
+	tbl, err := Figure7(tiny("hmmer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl, 2) // benchmark + suite summary
+}
+
+func TestAblations(t *testing.T) {
+	for name, run := range map[string]func(Options) (*metrics.Table, error){
+		"hist":        HistoryDepth,
+		"isrb":        ISRBSweep,
+		"hash":        HashWidth,
+		"comparators": Comparators,
+		"gshare":      GShareVsTAGE,
+	} {
+		tbl, err := run(tiny("libquantum"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkTable(t, tbl, 1)
+	}
+}
+
+func TestStaticReports(t *testing.T) {
+	checkTable(t, TableIReport(), 5)
+	storage := StorageReport()
+	checkTable(t, storage, 2)
+	// The predictor column must reproduce the paper's 42.6KB and 10.1KB.
+	if !strings.Contains(storage.Rows[0][1], "42.") {
+		t.Fatalf("ideal predictor storage %q, want ~42.6KB", storage.Rows[0][1])
+	}
+	if !strings.Contains(storage.Rows[1][1], "10.") {
+		t.Fatalf("realistic predictor storage %q, want ~10.1KB", storage.Rows[1][1])
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); g != 4 {
+		t.Fatalf("GeoMean(2,8) = %f", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	if _, err := Run("nope", config.TableI(), tiny("nope").Defaults()); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rsepsim/internal/config"
+	"rsepsim/internal/metrics"
+	"rsepsim/internal/rsep"
+	"rsepsim/internal/vpred"
+)
+
+// Figure1 reproduces the paper's Figure 1: the ratio of committed
+// instructions whose result is 0 or already live in the physical register
+// file, split into loads and other register producers, measured with a
+// commit-time oracle on the baseline core.
+func Figure1(opt Options) (*metrics.Table, error) {
+	opt = opt.Defaults()
+	res, err := Sweep([]*config.Config{config.TableI().WithOracle()}, opt)
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title:  "Figure 1: results that are zero or already in the PRF (% committed instructions)",
+		Header: []string{"benchmark", "zero(load)", "zero(other)", "inPRF(load)", "inPRF(other)", "total"},
+	}
+	for i, name := range opt.Benchmarks {
+		st := &res[i][0].Stats
+		zl, zo := st.Frac(st.OracleZeroLoad), st.Frac(st.OracleZeroOther)
+		pl, po := st.Frac(st.OraclePRFLoad), st.Frac(st.OraclePRFOther)
+		t.AddRow(name, metrics.Pct(zl), metrics.Pct(zo), metrics.Pct(pl), metrics.Pct(po),
+			metrics.Pct(zl+zo+pl+po))
+	}
+	return t, nil
+}
+
+// figure4Configs returns the Figure 4 configuration set: baseline, zero
+// prediction, move elimination, RSEP (ideal validation, large FIFO), value
+// prediction, and RSEP+VP.
+func figure4Configs() ([]*config.Config, []string) {
+	base := config.TableI()
+	return []*config.Config{
+		base,
+		base.WithZeroPred(),
+		base.WithMoveElim(),
+		base.WithRSEP(rsep.Ideal()),
+		base.WithVP(vpred.BeBoP()),
+		base.WithRSEP(rsep.Ideal()).WithVP(vpred.BeBoP()),
+	}, []string{"ZeroPred", "MoveElim", "RSEP", "VPred", "RSEP+VPred"}
+}
+
+// Figure4 reproduces Figure 4: speedup over the baseline for zero
+// prediction, move elimination, RSEP, value prediction, and the combination
+// (ideal validation mechanism, FIFO history much larger than the ROB).
+func Figure4(opt Options) (*metrics.Table, error) {
+	opt = opt.Defaults()
+	cfgs, names := figure4Configs()
+	res, err := Sweep(cfgs, opt)
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title:  "Figure 4: speedup over baseline",
+		Header: append([]string{"benchmark"}, names...),
+	}
+	ratios := make([][]float64, len(names))
+	for i, name := range opt.Benchmarks {
+		base := res[i][0].IPC
+		row := []string{name}
+		for ci := 1; ci < len(cfgs); ci++ {
+			row = append(row, speedupStr(base, res[i][ci].IPC))
+			ratios[ci-1] = append(ratios[ci-1], res[i][ci].IPC/base)
+		}
+		t.AddRow(row...)
+	}
+	sum := []string{"geomean"}
+	for _, r := range ratios {
+		sum = append(sum, fmt.Sprintf("%+.1f%%", 100*(GeoMean(r)-1)))
+	}
+	t.AddRow(sum...)
+	return t, nil
+}
+
+// Figure5 reproduces Figure 5: the percentage of committed instructions
+// covered by each mechanism — first under RSEP alone, then with value
+// prediction on top of RSEP.
+func Figure5(opt Options) (*metrics.Table, error) {
+	opt = opt.Defaults()
+	base := config.TableI()
+	cfgs := []*config.Config{
+		base.WithRSEP(rsep.Ideal()),
+		base.WithRSEP(rsep.Ideal()).WithVP(vpred.BeBoP()),
+	}
+	res, err := Sweep(cfgs, opt)
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title: "Figure 5: committed instructions covered per mechanism (RSEP | RSEP+VP)",
+		Header: []string{"benchmark", "cfg", "zeroIdiom", "moveElim", "zeroPred", "ldZeroPred",
+			"distPred", "ldDistPred", "valuePred", "ldValuePred", "total"},
+	}
+	for i, name := range opt.Benchmarks {
+		for ci, label := range []string{"RSEP", "RSEP+VP"} {
+			st := &res[i][ci].Stats
+			t.AddRow(name, label,
+				metrics.Pct(st.Frac(st.ZeroIdiomElim)),
+				metrics.Pct(st.Frac(st.MoveElim)),
+				metrics.Pct(st.Frac(st.ZeroPred-st.ZeroPredLoad)),
+				metrics.Pct(st.Frac(st.ZeroPredLoad)),
+				metrics.Pct(st.Frac(st.DistPred-st.DistPredLoad)),
+				metrics.Pct(st.Frac(st.DistPredLoad)),
+				metrics.Pct(st.Frac(st.ValuePred-st.ValuePredLoad)),
+				metrics.Pct(st.Frac(st.ValuePredLoad)),
+				metrics.Pct(st.Frac(st.CoveredTotal())))
+		}
+	}
+	return t, nil
+}
+
+// Figure6 reproduces Figure 6: the impact of the validation mechanism and of
+// commit sampling on RSEP's speedup — ideal validation, issue-twice locking
+// the producing FU, issue-twice on any FU, and issue-twice with sampling at
+// start_train thresholds 15 and 63.
+func Figure6(opt Options) (*metrics.Table, error) {
+	opt = opt.Defaults()
+	base := config.TableI()
+
+	ideal := rsep.Ideal()
+
+	lockFU := ideal
+	lockFU.Validation = rsep.ValidateIssue2xSameFU
+
+	anyFU := ideal
+	anyFU.Validation = rsep.ValidateIssue2xAnyFU
+
+	samp15 := anyFU
+	samp15.Sampling = true
+	samp15.TAGE.StartTrainThreshold = 15
+
+	samp63 := anyFU
+	samp63.Sampling = true
+	samp63.TAGE.StartTrainThreshold = 63
+
+	cfgs := []*config.Config{
+		base,
+		base.WithRSEP(ideal),
+		base.WithRSEP(lockFU),
+		base.WithRSEP(anyFU),
+		base.WithRSEP(samp15),
+		base.WithRSEP(samp63),
+	}
+	names := []string{"IdealValidation", "Issue2xLockFU", "Issue2x", "Issue2x+Samp15", "Issue2x+Samp63"}
+	res, err := Sweep(cfgs, opt)
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title:  "Figure 6: impact of equality prediction validation and sampling on speedup",
+		Header: append([]string{"benchmark"}, names...),
+	}
+	for i, name := range opt.Benchmarks {
+		base := res[i][0].IPC
+		row := []string{name}
+		for ci := 1; ci < len(cfgs); ci++ {
+			row = append(row, speedupStr(base, res[i][ci].IPC))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Figure7 reproduces Figure 7: ideal RSEP (42.6KB predictor, unbounded
+// structures) against the realistic 10.1KB implementation (128-entry FIFO,
+// 24-entry ISRB, sampling threshold 63, issue-twice validation), and prints
+// the §VI-B summary: accuracy, coverage of eligible instructions and the
+// storage budget.
+func Figure7(opt Options) (*metrics.Table, error) {
+	opt = opt.Defaults()
+	base := config.TableI()
+	idealCfg, realCfg := rsep.Ideal(), rsep.Realistic()
+	cfgs := []*config.Config{base, base.WithRSEP(idealCfg), base.WithRSEP(realCfg)}
+	res, err := Sweep(cfgs, opt)
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title:  "Figure 7: ideal vs realistic RSEP",
+		Header: []string{"benchmark", "Ideal(42.6KB)", "Realistic(10.1KB)", "real.accuracy", "real.coverage(elig)"},
+	}
+	var wrong, used, covered, eligible uint64
+	for i, name := range opt.Benchmarks {
+		b := res[i][0].IPC
+		st := &res[i][2].Stats
+		t.AddRow(name,
+			speedupStr(b, res[i][1].IPC),
+			speedupStr(b, res[i][2].IPC),
+			metrics.Pct(st.DistAccuracy()),
+			metrics.Pct(float64(st.CoveredTotal())/float64(st.Eligible)))
+		wrong += st.DistMispredicts + st.ZeroMispredicts
+		used += st.DistPred + st.ZeroPred
+		covered += st.CoveredTotal()
+		eligible += st.Eligible
+	}
+	acc := 1.0
+	if used+wrong > 0 {
+		acc = float64(used) / float64(used+wrong)
+	}
+	t.AddRow("suite",
+		"", "",
+		metrics.Pct(acc),
+		metrics.Pct(float64(covered)/float64(eligible)))
+	return t, nil
+}
+
+// StorageReport renders the §VI-B storage accounting for the ideal and
+// realistic RSEP configurations.
+func StorageReport() *metrics.Table {
+	t := &metrics.Table{
+		Title:  "RSEP storage accounting (§VI-B)",
+		Header: []string{"config", "predictor", "total(+hist,+ISRB,+distFIFO)"},
+	}
+	robSize, pregBits := 192, 9
+	for _, c := range []struct {
+		name string
+		cfg  rsep.Config
+	}{{"ideal", rsep.Ideal()}, {"realistic", rsep.Realistic()}} {
+		var pred rsep.DistPredictor = rsep.NewTAGEDist(c.cfg.TAGE, nil, nil)
+		t.AddRow(c.name,
+			fmt.Sprintf("%.1fKB", float64(pred.StorageBits())/8/1024),
+			fmt.Sprintf("%.1fKB", float64(c.cfg.StorageBits(robSize, pregBits))/8/1024))
+	}
+	return t
+}

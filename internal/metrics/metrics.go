@@ -1,0 +1,184 @@
+// Package metrics collects simulation statistics and renders the result
+// tables the experiment harness prints.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Stats aggregates the counters of one simulation run.
+type Stats struct {
+	Cycles    uint64
+	Committed uint64
+
+	CommittedLoads    uint64
+	CommittedStores   uint64
+	CommittedBranches uint64
+	Eligible          uint64 // committed register-producing instructions
+
+	// Mechanism coverage (committed instructions processed by each
+	// mechanism — the Figure 5 categories).
+	ZeroIdiomElim uint64
+	MoveElim      uint64
+	ZeroPred      uint64
+	ZeroPredLoad  uint64
+	DistPred      uint64
+	DistPredLoad  uint64
+	ValuePred     uint64
+	ValuePredLoad uint64
+
+	// Speculation outcomes.
+	DistMispredicts   uint64
+	ZeroMispredicts   uint64
+	ValueMispredicts  uint64
+	BranchMispredicts uint64
+	MemOrderSquashes  uint64
+	Squashes          uint64
+
+	// Validation µ-op traffic (non-ideal validation policies).
+	ValidationUops uint64
+
+	// Figure 1 oracle categories (committed, non-zero-idiom producers).
+	OracleZeroLoad  uint64
+	OracleZeroOther uint64
+	OraclePRFLoad   uint64
+	OraclePRFOther  uint64
+
+	// Commit-group histogram: index = number of eligible (register
+	// producing) instructions retired in the same cycle (§IV-D2).
+	CommitEligibleHist [9]uint64
+
+	// Memory system.
+	L1DAccesses, L1DMisses uint64
+	L2Misses, L3Misses     uint64
+	DRAMReads              uint64
+	AvgDRAMLatency         float64
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// Frac returns n as a fraction of committed instructions.
+func (s *Stats) Frac(n uint64) float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(n) / float64(s.Committed)
+}
+
+// CoveredTotal returns the committed instructions processed by any
+// mechanism.
+func (s *Stats) CoveredTotal() uint64 {
+	return s.ZeroIdiomElim + s.MoveElim + s.ZeroPred + s.DistPred + s.ValuePred
+}
+
+// DistAccuracy returns the fraction of used distance predictions that were
+// correct.
+func (s *Stats) DistAccuracy() float64 {
+	used := s.DistPred + s.ZeroPred
+	if used == 0 {
+		return 1
+	}
+	wrong := s.DistMispredicts + s.ZeroMispredicts
+	return 1 - float64(wrong)/float64(used+wrong)
+}
+
+// HarmonicMean returns the harmonic mean of xs (the paper's aggregation of
+// per-checkpoint IPCs).
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var inv float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		inv += 1 / x
+	}
+	return float64(len(xs)) / inv
+}
+
+// Table is a printable result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			if i == 0 {
+				b.WriteString(c + strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad) + c)
+			}
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := func(cells []string) {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		fmt.Fprintln(w, strings.Join(out, ","))
+	}
+	row(t.Header)
+	for _, r := range t.Rows {
+		row(r)
+	}
+}
+
+// Pct formats x as a percentage with one decimal.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// F3 formats x with three decimals.
+func F3(x float64) string { return fmt.Sprintf("%.3f", x) }

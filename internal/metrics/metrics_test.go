@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 1, 1}); got != 1 {
+		t.Fatalf("HM(1,1,1) = %f", got)
+	}
+	got := HarmonicMean([]float64{1, 2})
+	if math.Abs(got-4.0/3) > 1e-12 {
+		t.Fatalf("HM(1,2) = %f, want 4/3", got)
+	}
+	if HarmonicMean(nil) != 0 || HarmonicMean([]float64{0, 1}) != 0 {
+		t.Fatal("degenerate inputs must return 0")
+	}
+}
+
+// Property: the harmonic mean never exceeds the arithmetic mean.
+func TestQuickHarmonicLEArithmetic(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			x = math.Abs(x)
+			if x > 1e-9 && x < 1e9 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		return HarmonicMean(xs) <= sum/float64(len(xs))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsDerived(t *testing.T) {
+	s := Stats{Cycles: 100, Committed: 250, DistPred: 50, DistMispredicts: 1}
+	if s.IPC() != 2.5 {
+		t.Fatalf("IPC = %f", s.IPC())
+	}
+	if s.Frac(50) != 0.2 {
+		t.Fatalf("Frac = %f", s.Frac(50))
+	}
+	if acc := s.DistAccuracy(); acc <= 0.97 || acc >= 1 {
+		t.Fatalf("accuracy = %f", acc)
+	}
+	var empty Stats
+	if empty.IPC() != 0 || empty.Frac(1) != 0 || empty.DistAccuracy() != 1 {
+		t.Fatal("zero-value stats must be safe")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "T", Header: []string{"name", "v"}}
+	tbl.AddRow("alpha", "1.0")
+	tbl.AddRow("b", "22.5")
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== T ==") || !strings.Contains(out, "alpha") {
+		t.Fatalf("table output malformed:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d", len(lines))
+	}
+	// Columns align: both value cells end at the same offset.
+	if len(lines[2]) != len(lines[3]) {
+		t.Fatalf("misaligned rows:\n%q\n%q", lines[2], lines[3])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tbl := &Table{Header: []string{"a", "b"}}
+	tbl.AddRow(`quo"te`, "with,comma")
+	var buf bytes.Buffer
+	tbl.CSV(&buf)
+	want := "a,b\n\"quo\"\"te\",\"with,comma\"\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.285) != "28.5%" {
+		t.Fatalf("Pct = %q", Pct(0.285))
+	}
+	if F3(1.23456) != "1.235" {
+		t.Fatalf("F3 = %q", F3(1.23456))
+	}
+}

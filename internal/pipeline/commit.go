@@ -1,0 +1,238 @@
+package pipeline
+
+import (
+	"rsepsim/internal/regfile"
+	"rsepsim/internal/rsep"
+)
+
+// commit retires up to CommitWidth instructions per cycle in order. The
+// commit side also hosts RSEP's training path (hash the result, probe the
+// FIFO history / DDT, train the distance predictor), value-predictor
+// training, the Figure 1 oracle and mispredict squashes (§IV-G: "the
+// pipeline is flushed once the mispredicted instruction reaches the head of
+// the ROB").
+func (c *Core) commit() {
+	groupEligible := 0
+	// Pick the sampled instruction of this commit group (§IV-B3: one
+	// random committing instruction probes the FIFO history per cycle).
+	sampled := -1
+	if c.rsepCfg != nil && c.rsepCfg.Sampling {
+		sampled = c.rng.Intn(c.cfg.CommitWidth)
+	}
+
+	committed := 0
+	for n := 0; n < c.cfg.CommitWidth; n++ {
+		if c.robHead >= len(c.rob) {
+			break
+		}
+		d := c.rob[c.robHead]
+		if !d.done || d.readyAt > c.cycle {
+			break
+		}
+		// Validation µ-op must have issued before retirement under
+		// the non-ideal policies.
+		if d.needValUop && !d.valUopIssued {
+			break
+		}
+
+		// Memory-order violation: squash from the load itself (it
+		// re-executes with correct ordering).
+		if d.violation {
+			c.stats.MemOrderSquashes++
+			c.squashFrom(d.seq())
+			return
+		}
+
+		// The instruction retires.
+		c.robHead++
+		c.robCompact()
+		committed++
+		in := &d.in
+
+		if d.eligible() {
+			groupEligible++
+			c.trainAndAccount(d, n == sampled || sampled < 0)
+		}
+
+		c.stats.Committed++
+		switch {
+		case in.IsLoad():
+			c.stats.CommittedLoads++
+			c.removeLQ(d)
+		case in.IsStore():
+			c.stats.CommittedStores++
+			c.removeSQ(d)
+		case in.IsBranch():
+			c.stats.CommittedBranches++
+		}
+
+		// Free the previous mapping of the architectural destination.
+		if d.archDest >= 0 {
+			c.releaseRef(d.oldPreg)
+		}
+
+		c.src.Release(d.seq())
+
+		mispredicted := d.valWrong && (d.kind == predDistPred || d.kind == predZeroPred || d.kind == predValuePred)
+		if mispredicted {
+			switch d.kind {
+			case predDistPred:
+				c.stats.DistMispredicts++
+			case predZeroPred:
+				c.stats.ZeroMispredicts++
+			case predValuePred:
+				c.stats.ValueMispredicts++
+			}
+			// Full pipeline flush behind the offender.
+			c.squashFrom(d.seq() + 1)
+			c.freeDyn(d)
+			c.stats.CommitEligibleHist[groupEligible]++
+			return
+		}
+		c.freeDyn(d)
+	}
+	if committed > 0 {
+		c.stats.CommitEligibleHist[groupEligible]++
+	}
+}
+
+// trainAndAccount performs commit-side predictor training and the coverage
+// accounting of Figure 5 for one eligible instruction. probe reports whether
+// this instruction may access the pairing structure this cycle (sampling).
+func (c *Core) trainAndAccount(d *dyn, probe bool) {
+	in := &d.in
+	c.stats.Eligible++
+
+	// Figure 1 oracle: is the result zero / already live in the PRF?
+	if c.valCount != nil && !in.ZeroIdiom {
+		if in.Result == 0 {
+			if in.IsLoad() {
+				c.stats.OracleZeroLoad++
+			} else {
+				c.stats.OracleZeroOther++
+			}
+		} else {
+			need := 1
+			if d.alloc {
+				need = 2 // its own register already holds the result
+			}
+			if c.valCount[in.Result] >= need {
+				if in.IsLoad() {
+					c.stats.OraclePRFLoad++
+				} else {
+					c.stats.OraclePRFOther++
+				}
+			}
+		}
+	}
+
+	// Coverage accounting.
+	switch d.kind {
+	case predZeroIdiom:
+		c.stats.ZeroIdiomElim++
+	case predMoveElim:
+		c.stats.MoveElim++
+	case predZeroPred:
+		c.stats.ZeroPred++
+		if in.IsLoad() {
+			c.stats.ZeroPredLoad++
+		}
+	case predDistPred:
+		c.stats.DistPred++
+		if in.IsLoad() {
+			c.stats.DistPredLoad++
+		}
+	case predValuePred:
+		c.stats.ValuePred++
+		if in.IsLoad() {
+			c.stats.ValuePredLoad++
+		}
+	}
+
+	// RSEP commit path.
+	if c.rsepCfg != nil {
+		csn := c.csn
+		c.csn++
+		hash := rsep.FoldHash(in.Result, uint(c.rsepCfg.HashBits))
+
+		if d.distLkValid {
+			switch {
+			case d.trainViaVal || d.kind == predDistPred:
+				// Likely candidates and predicted instructions
+				// train through the validation mechanism: a
+				// single 64-bit compare against the (would-be)
+				// shared register (§IV-B3b).
+				if d.providerValid && d.providerResult == in.Result {
+					c.distPred.Update(&d.distLk, d.predictedDist)
+				} else {
+					c.distPred.Update(&d.distLk, 0)
+				}
+			case !c.rsepCfg.Sampling || probe:
+				// Commit-side pairing probe.
+				if dist, ok := c.pairer.Find(hash, csn, d.distLk.Dist); ok {
+					c.distPred.Update(&d.distLk, dist)
+				} else {
+					c.distPred.Update(&d.distLk, 0)
+				}
+			}
+		}
+		c.pairer.Push(hash, csn)
+
+		if c.zp != nil && d.zeroLkValid {
+			c.zp.Update(&d.zeroLk, in.Result == 0)
+		}
+	} else if c.zp != nil && d.zeroLkValid {
+		// Standalone zero prediction.
+		c.zp.Update(&d.zeroLk, in.Result == 0)
+	}
+
+	// Value predictor training.
+	if c.vp != nil && d.vpLkValid {
+		c.vp.Update(&d.vpLk, in.Result)
+	}
+}
+
+// releaseRef releases one committed reference to p, freeing it when the
+// ISRB says every reference is gone (or when p was never shared).
+func (c *Core) releaseRef(p regfile.PReg) {
+	if p <= regfile.ZeroPReg {
+		return
+	}
+	freed, shared := c.isrb.Release(p)
+	if !shared || freed {
+		c.freePreg(p)
+	}
+}
+
+// freePreg returns p to the free list, maintaining the Figure 1 oracle
+// multiset.
+func (c *Core) freePreg(p regfile.PReg) {
+	if c.valCount != nil && c.valWritten[p] {
+		v := c.prf.Value(p)
+		if n := c.valCount[v]; n <= 1 {
+			delete(c.valCount, v)
+		} else {
+			c.valCount[v] = n - 1
+		}
+		c.valWritten[p] = false
+	}
+	c.prf.Free(p)
+}
+
+func (c *Core) removeLQ(d *dyn) {
+	for i, l := range c.lq {
+		if l == d {
+			c.lq = append(c.lq[:i], c.lq[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Core) removeSQ(d *dyn) {
+	for i, s := range c.sq {
+		if s == d {
+			c.sq = append(c.sq[:i], c.sq[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package pipeline
+
+// Completion: a bucketed event queue maps cycles to the instructions whose
+// results arrive then. complete() runs before issue() each cycle, so a
+// consumer can issue back-to-back with its producer (full bypass, Table I).
+
+func (c *Core) schedule(d *dyn, at uint64) {
+	if at <= c.cycle {
+		at = c.cycle // completes this cycle
+		c.completeOne(d)
+		return
+	}
+	if c.events == nil {
+		c.events = make(map[uint64][]*dyn)
+	}
+	c.events[at] = append(c.events[at], d)
+}
+
+// complete retires execution events due this cycle.
+func (c *Core) complete() {
+	evs, ok := c.events[c.cycle]
+	if !ok {
+		return
+	}
+	delete(c.events, c.cycle)
+	for _, d := range evs {
+		c.completeOne(d)
+	}
+}
+
+func (c *Core) completeOne(d *dyn) {
+	if d.squashed {
+		return
+	}
+	d.done = true
+	in := &d.in
+
+	if d.alloc && d.kind != predValuePred {
+		c.prf.SetValue(d.dstPreg, in.Result)
+		if c.hrf != nil {
+			c.hrf.Write(d.dstPreg, in.Result)
+		}
+		if c.valCount != nil {
+			c.valCount[in.Result]++
+			c.valWritten[d.dstPreg] = true
+		}
+	}
+
+	if in.IsBranch() {
+		c.resolveBranch(d)
+	}
+
+	if in.IsStore() {
+		c.ss.StoreComplete(in.PC, in.Seq)
+		c.checkViolations(d)
+	}
+}
+
+// checkViolations scans the load queue when a store's address resolves: any
+// younger load to the same word that already executed read stale data — a
+// memory-order violation. The oldest such load is marked; the squash happens
+// when it reaches the ROB head. The store sets learn the pair.
+func (c *Core) checkViolations(st *dyn) {
+	word := st.in.Addr >> 3
+	var victim *dyn
+	for _, l := range c.lq {
+		if l.seq() <= st.seq() || !l.issued || l.violation {
+			continue
+		}
+		if l.in.Addr>>3 != word {
+			continue
+		}
+		// The load issued before the store's data was available.
+		if l.issueCycle < st.readyAt {
+			if victim == nil || l.seq() < victim.seq() {
+				victim = l
+			}
+		}
+	}
+	if victim != nil {
+		victim.violation = true
+		c.ss.Violation(victim.in.PC, st.in.PC)
+	}
+}
+
+// loadReady computes when a load's value is available: store-to-load
+// forwarding when a completed older store to the same word sits in the store
+// queue (Table I: STLF latency 4 cycles), otherwise the cache hierarchy.
+func (c *Core) loadReady(d *dyn) uint64 {
+	addr := d.in.Addr
+	extra := c.dtlb.Lookup(addr)
+
+	for i := len(c.sq) - 1; i >= 0; i-- {
+		s := c.sq[i]
+		if s.seq() >= d.seq() {
+			continue
+		}
+		if s.in.Addr>>3 == addr>>3 {
+			if s.done {
+				return c.cycle + extra + c.cfg.STLFLat
+			}
+			// The producing store has not executed: the load
+			// proceeds speculatively (it may be squashed by the
+			// violation scan when the store completes).
+			break
+		}
+	}
+	return c.l1d.AccessPC(addr, d.in.PC, c.cycle+extra, false, false)
+}

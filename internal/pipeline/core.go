@@ -1,0 +1,351 @@
+// Package pipeline implements the cycle-level 8-wide out-of-order core of
+// Table I and integrates the mechanisms under study: zero-idiom elimination,
+// move elimination, zero prediction, RSEP distance prediction with physical
+// register sharing, and D-VTAGE value prediction.
+//
+// The model is trace-driven: the workload's functional execution supplies
+// instruction records (with results, addresses and branch outcomes) through
+// a replay buffer; the pipeline models timing — fetch redirects, renaming,
+// scheduling on issue ports, cache/DRAM latencies, squashes — and trains the
+// predictors on the genuine value stream at commit, exactly where the paper
+// trains them.
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rsepsim/internal/branch"
+	"rsepsim/internal/cache"
+	"rsepsim/internal/config"
+	"rsepsim/internal/dram"
+	"rsepsim/internal/metrics"
+	"rsepsim/internal/predictor"
+	"rsepsim/internal/regfile"
+	"rsepsim/internal/rsep"
+	"rsepsim/internal/storeset"
+	"rsepsim/internal/trace"
+	"rsepsim/internal/uarch"
+	"rsepsim/internal/vpred"
+)
+
+// fuKind is a functional-unit capability bitmask.
+type fuKind uint16
+
+const (
+	fuALU fuKind = 1 << iota
+	fuMul
+	fuDiv
+	fuFP
+	fuFPMul
+	fuFPDiv
+	fuLoad
+	fuStore
+	fuBranch
+)
+
+type port struct {
+	caps      fuKind
+	busyUntil uint64
+}
+
+// valUop is a pending validation µ-op (§IV-F): the second issue of a
+// distance-predicted (or training) instruction, performing the 64-bit
+// compare.
+type valUop struct {
+	owner   *dyn
+	readyAt uint64 // max(own result, shared register)
+	port    int    // fixed port (same-FU policy) or -1 (any port)
+}
+
+type ringEnt struct {
+	seq    uint64
+	preg   regfile.PReg
+	result uint64
+	epoch  uint32
+}
+
+// Core is the simulated processor.
+type Core struct {
+	cfg   *config.Config
+	src   *trace.Replay
+	stats metrics.Stats
+	cycle uint64
+	rng   *rand.Rand
+
+	// Front end.
+	bp           *branch.Predictor
+	l1i          *cache.Cache
+	itlb         *cache.TLB
+	fetchQ       []*dyn
+	fetchBlocked *dyn // mispredicted branch stalling fetch until resolve
+	fetchResume  uint64
+	lastLine     uint64
+	srcDone      bool
+
+	// Rename.
+	rat    *regfile.RAT
+	prf    *regfile.File
+	isrb   *regfile.ISRB
+	epochs []uint32
+	ring   []ringEnt // rename-side FIFO of recent result producers
+
+	// Backend.
+	rob     []*dyn
+	robHead int
+	iq      []*dyn
+	lq      []*dyn
+	sq      []*dyn
+	ports   []port
+	valQ    []valUop
+
+	// Memory system.
+	l1d  *cache.Cache
+	l2   *cache.Cache
+	l3   *cache.Cache
+	dtlb *cache.TLB
+	mem  *dram.Memory
+	ss   *storeset.Table
+
+	// RSEP machinery.
+	rsepCfg  *rsep.Config
+	distPred rsep.DistPredictor
+	pairer   rsep.Pairer
+	zp       *rsep.ZeroPredictor
+	hrf      *rsep.HRF
+	distHist *predictor.GlobalHistory
+	csn      uint64 // committed eligible-instruction sequence number
+
+	// Value prediction.
+	vp     *vpred.DVTAGE
+	vpHist *predictor.GlobalHistory
+
+	// Figure 1 oracle.
+	valCount   map[uint64]int
+	valWritten []bool
+
+	// Execution completion events, bucketed by cycle.
+	events map[uint64][]*dyn
+
+	// Free list of dyn records (reduces allocation churn).
+	dynPool []*dyn
+
+	committedTarget uint64
+}
+
+// New builds a core over the given instruction source.
+func New(cfg *config.Config, src trace.Source) *Core {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &Core{
+		cfg: cfg,
+		src: trace.NewReplay(src),
+		rng: rng,
+		bp:  branch.New(rng),
+		rat: regfile.NewRAT(uarch.NumArchRegs),
+		prf: regfile.NewFile(cfg.IntPRegs, cfg.FPPRegs),
+		ss:  storeset.New(cfg.SSITEntries, cfg.LFSTEntries),
+	}
+	c.epochs = make([]uint32, c.prf.Size())
+
+	// Initial architectural mappings.
+	for a := 0; a < uarch.NumArchRegs; a++ {
+		p, ok := c.prf.Alloc(uarch.Reg(a).IsFP())
+		if !ok {
+			panic("pipeline: not enough physical registers for architectural state")
+		}
+		c.prf.SetValue(p, 0)
+		c.prf.SetReadyAt(p, 0)
+		c.rat.Set(a, p)
+	}
+
+	// Memory hierarchy (innermost last).
+	c.mem = dram.New(dram.NewDDR4_2400(cfg.CPUFreqGHz))
+	c.l3 = cache.New(cache.Config{
+		Name: "L3", SizeKB: cfg.L3SizeKB, Ways: cfg.L3Ways,
+		Latency: cfg.L3Latency - cfg.L2Latency, MSHRs: cfg.MSHRs,
+		Prefetch: cache.NewStream(16, 1),
+	}, c.mem)
+	c.l2 = cache.New(cache.Config{
+		Name: "L2", SizeKB: cfg.L2SizeKB, Ways: cfg.L2Ways,
+		Latency: cfg.L2Latency - cfg.L1DLatency, MSHRs: cfg.MSHRs,
+		Prefetch: cache.NewStream(16, 1),
+	}, c.l3)
+	c.l1d = cache.New(cache.Config{
+		Name: "L1D", SizeKB: cfg.L1SizeKB, Ways: cfg.L1Ways,
+		Latency: cfg.L1DLatency, MSHRs: cfg.MSHRs,
+		Prefetch: cache.NewStride(256, 1),
+	}, c.l2)
+	c.l1i = cache.New(cache.Config{
+		Name: "L1I", SizeKB: cfg.L1SizeKB, Ways: cfg.L1Ways,
+		Latency: cfg.L1ILatency, MSHRs: 8,
+	}, c.l2)
+	c.itlb = cache.NewTLB(cfg.ITLBEntries, cfg.TLBWalkLat)
+	c.dtlb = cache.NewTLB(cfg.DTLBEntries, cfg.TLBWalkLat)
+
+	// Issue ports per Table I: 4 ALU (one with Mul, one with Div), 3 FP
+	// (one FPMul, one FPDiv), 2 load/store, 1 store.
+	c.ports = []port{
+		{caps: fuALU | fuBranch},
+		{caps: fuALU | fuMul | fuBranch},
+		{caps: fuALU | fuDiv | fuBranch},
+		{caps: fuALU | fuBranch},
+		{caps: fuFP},
+		{caps: fuFP | fuFPMul},
+		{caps: fuFP | fuFPDiv},
+		{caps: fuLoad | fuStore},
+		{caps: fuLoad | fuStore},
+		{caps: fuStore},
+	}
+
+	if cfg.RSEP != nil {
+		rc := *cfg.RSEP
+		c.rsepCfg = &rc
+		switch rc.Predictor {
+		case rsep.PredGShare:
+			c.distPred = rsep.NewGShareDist(4096, 4096, 16, 8,
+				rc.TAGE.UsePredThreshold, rc.TAGE.StartTrainThreshold, nil)
+		default:
+			c.distPred = rsep.NewTAGEDist(rc.TAGE, nil, rng)
+		}
+		c.distHist = predictor.NewGlobalHistory(c.distPred.HistoryLengths(), c.distPred.HistoryWidths())
+		switch rc.Pairer {
+		case rsep.PairDDT:
+			n := rc.DDTEntries
+			if n == 0 {
+				n = 8192 // the paper's "unrealistic 16KB DDT"
+			}
+			c.pairer = rsep.NewDDT(n, 10)
+		default:
+			c.pairer = rsep.NewFIFOHistory(rc.HistEntries, rc.HashBits, 10)
+		}
+		if rc.ZeroPred {
+			n := rc.ZeroPredEntries
+			if n == 0 {
+				n = 4096
+			}
+			c.zp = rsep.NewZeroPredictor(n, rc.TAGE.UsePredThreshold, nil)
+		}
+		c.isrb = regfile.NewISRB(rc.ISRBEntries, rc.ISRBCounterBits)
+		c.hrf = rsep.NewHRF(c.prf.Size(), uint(rc.HashBits))
+	} else {
+		c.isrb = regfile.NewISRB(0, 6) // move elimination still needs refcounts
+	}
+	if cfg.ZeroPred && c.zp == nil {
+		c.zp = rsep.NewZeroPredictor(4096, 255, nil)
+	}
+
+	if cfg.VP != nil {
+		c.vp = vpred.New(*cfg.VP, nil, rng)
+		c.vpHist = predictor.NewGlobalHistory(c.vp.HistoryLengths(), c.vp.HistoryWidths())
+	}
+
+	if cfg.OracleProbe {
+		c.valCount = make(map[uint64]int)
+		c.valWritten = make([]bool, c.prf.Size())
+	}
+	return c
+}
+
+// Stats returns the accumulated statistics.
+func (c *Core) Stats() *metrics.Stats { return &c.stats }
+
+// Cycle returns the current cycle.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// ResetStats clears counters at the end of warmup, keeping all
+// microarchitectural state.
+func (c *Core) ResetStats() { c.stats = metrics.Stats{} }
+
+// Run simulates until n more instructions commit or the source is
+// exhausted. It returns the number of instructions committed.
+func (c *Core) Run(n uint64) uint64 {
+	start := c.stats.Committed
+	c.committedTarget = start + n
+	idle := 0
+	for c.stats.Committed < c.committedTarget {
+		before := c.stats.Committed
+		c.step()
+		if c.stats.Committed == before {
+			idle++
+			if c.srcDone && len(c.rob) == c.robHead && len(c.fetchQ) == 0 {
+				break
+			}
+			if idle > 1_000_000 {
+				panic(fmt.Sprintf("pipeline: deadlock — no commit in 1M cycles: %s", c.deadlockState()))
+			}
+		} else {
+			idle = 0
+		}
+	}
+	c.finishStats()
+	return c.stats.Committed - start
+}
+
+// step advances one cycle, processing stages back to front so same-cycle
+// pass-through is impossible.
+func (c *Core) step() {
+	c.commit()
+	c.complete()
+	c.issue()
+	c.rename()
+	c.fetch()
+	c.cycle++
+	c.stats.Cycles++
+}
+
+func (c *Core) finishStats() {
+	c.stats.L1DAccesses = c.l1d.Accesses
+	c.stats.L1DMisses = c.l1d.Misses
+	c.stats.L2Misses = c.l2.Misses
+	c.stats.L3Misses = c.l3.Misses
+	c.stats.DRAMReads = c.mem.Reads
+	c.stats.AvgDRAMLatency = c.mem.AvgReadLatency()
+	c.stats.BranchMispredicts = c.bp.CondMispredicts
+}
+
+// newDyn takes a record from the pool.
+func (c *Core) newDyn(in uarch.Inst) *dyn {
+	var d *dyn
+	if n := len(c.dynPool); n > 0 {
+		d = c.dynPool[n-1]
+		c.dynPool = c.dynPool[:n-1]
+		*d = dyn{}
+	} else {
+		d = &dyn{}
+	}
+	d.in = in
+	d.archDest = -1
+	if in.HasDest() {
+		d.archDest = int(in.Dst)
+	}
+	d.dstPreg = regfile.PRegNone
+	d.oldPreg = regfile.PRegNone
+	d.providerPreg = regfile.PRegNone
+	d.port = -1
+	return d
+}
+
+func (c *Core) freeDyn(d *dyn) { c.dynPool = append(c.dynPool, d) }
+
+// robLen reports the occupancy of the ROB.
+func (c *Core) robLen() int { return len(c.rob) - c.robHead }
+
+func (c *Core) deadlockState() string {
+	if c.robHead >= len(c.rob) {
+		return fmt.Sprintf("rob empty, fetchQ=%d blocked=%v resume=%d cycle=%d srcDone=%v",
+			len(c.fetchQ), c.fetchBlocked != nil, c.fetchResume, c.cycle, c.srcDone)
+	}
+	d := c.rob[c.robHead]
+	return fmt.Sprintf("head seq=%d class=%v kind=%d issued=%v done=%v readyAt=%d needVal=%v valIssued=%v inIQ=%v nsrc=%d srcReady=[%d %d %d] provider=p%d provReady=%d cycle=%d iq=%d valQ=%d",
+		d.seq(), d.in.Class, d.kind, d.issued, d.done, d.readyAt, d.needValUop, d.valUopIssued,
+		d.inIQ, d.nsrc,
+		c.prf.ReadyAt(d.srcPregs[0]), c.prf.ReadyAt(d.srcPregs[1]), c.prf.ReadyAt(d.srcPregs[2]),
+		d.providerPreg, c.prf.ReadyAt(d.providerPreg), c.cycle, len(c.iq), len(c.valQ))
+}
+
+func (c *Core) robCompact() {
+	if c.robHead > 4096 || c.robHead == len(c.rob) {
+		c.rob = append(c.rob[:0], c.rob[c.robHead:]...)
+		c.robHead = 0
+	}
+}

@@ -1,0 +1,88 @@
+package pipeline
+
+import (
+	"rsepsim/internal/branch"
+	"rsepsim/internal/predictor"
+	"rsepsim/internal/regfile"
+	"rsepsim/internal/rsep"
+	"rsepsim/internal/uarch"
+	"rsepsim/internal/vpred"
+)
+
+// predKind identifies which mechanism (if any) processed an instruction at
+// rename — the Figure 5 categories.
+type predKind uint8
+
+const (
+	predNone predKind = iota
+	predZeroIdiom
+	predMoveElim
+	predZeroPred
+	predDistPred
+	predValuePred
+)
+
+// dyn is the pipeline's record for one inflight dynamic instruction.
+type dyn struct {
+	in uarch.Inst
+
+	renameReady uint64 // cycle at which the front end delivers it to rename
+
+	// Rename state.
+	dstPreg  regfile.PReg
+	oldPreg  regfile.PReg
+	srcPregs [3]regfile.PReg
+	nsrc     int
+	archDest int  // architectural destination (-1 none)
+	alloc    bool // allocated a fresh physical register
+	shared   bool // holds an ISRB reference on dstPreg
+	kind     predKind
+
+	// Predictor lookups, performed at fetch.
+	distLk      rsep.DistLookup
+	distLkValid bool
+	zeroLk      rsep.ZeroLookup
+	zeroLkValid bool
+	vpLk        vpred.Lookup
+	vpLkValid   bool
+
+	// Equality-prediction state.
+	providerPreg   regfile.PReg
+	providerEpoch  uint32
+	providerResult uint64
+	providerValid  bool
+	predictedDist  uint16
+	trainViaVal    bool // sampling: likely candidate training through validation
+	valWrong       bool // validation outcome (known once both values exist)
+	needValUop     bool
+	valUopIssued   bool
+
+	// Branch state.
+	brPred    branch.Prediction
+	brMispred bool
+	distSnap  predictor.HistorySnapshot
+	vpSnap    predictor.HistorySnapshot
+	hasSnaps  bool
+
+	// Execution state.
+	inIQ       bool
+	issued     bool
+	done       bool   // result available (or no execution needed)
+	readyAt    uint64 // cycle the result is available
+	issueCycle uint64
+	port       int // issue port used
+
+	// Memory state.
+	addrReadyAt uint64 // stores: address resolved
+	violation   bool   // memory-order violation detected against this load
+	hasDepStore bool
+	depStoreSeq uint64
+
+	squashed bool
+}
+
+func (d *dyn) seq() uint64 { return d.in.Seq }
+
+// eligible reports whether the instruction is eligible for distance/value
+// prediction (produces a register).
+func (d *dyn) eligible() bool { return d.in.HasDest() }

@@ -1,0 +1,156 @@
+package pipeline
+
+import (
+	"rsepsim/internal/uarch"
+)
+
+// fetch models the front end: up to FetchWidth instructions per cycle across
+// at most TakenPerFetch taken branches, gated by the instruction cache, BTB
+// misses and unresolved mispredicted branches. Fetched instructions ripple
+// through FrontendDepth stages before rename.
+//
+// Trace-driven wrong-path modelling: when the predictor disagrees with the
+// trace outcome, the machine would fetch down the wrong path; we model that
+// as a fetch stall until the branch resolves plus the redirect/refill
+// penalty (the same wall-clock the wrong path would waste), which is the
+// standard trace-driven approximation.
+func (c *Core) fetch() {
+	if c.srcDone || c.fetchBlocked != nil || c.cycle < c.fetchResume {
+		return
+	}
+	taken := 0
+	for i := 0; i < c.cfg.FetchWidth; i++ {
+		if len(c.fetchQ) >= c.cfg.FetchQueue {
+			return
+		}
+		in, ok := c.src.Next()
+		if !ok {
+			c.srcDone = true
+			return
+		}
+
+		// Instruction cache, per line.
+		line := in.PC >> 6
+		if line != c.lastLine {
+			c.lastLine = line
+			extra := c.itlb.Lookup(in.PC)
+			ready := c.l1i.Access(in.PC, c.cycle+extra, false, false)
+			if ready > c.cycle+c.cfg.L1ILatency+extra {
+				// Miss: this line arrives later; re-fetch then.
+				c.src.RewindTo(in.Seq)
+				c.lastLine = 0
+				c.fetchResume = ready
+				return
+			}
+		}
+
+		d := c.newDyn(in)
+		d.renameReady = c.cycle + uint64(c.cfg.FrontendDepth)
+
+		if in.IsBranch() {
+			c.fetchBranch(d)
+			c.fetchQ = append(c.fetchQ, d)
+			if d.brMispred {
+				c.fetchBlocked = d
+				return
+			}
+			if d.brPred.Taken {
+				if !d.brPred.TargetHit && in.BrKind != uarch.BrCond {
+					// BTB miss on a taken branch: the target is
+					// produced at decode — bubble.
+					c.fetchResume = c.cycle + uint64(c.cfg.BTBMissPenalty)
+					return
+				}
+				taken++
+				if taken > c.cfg.TakenPerFetch {
+					return
+				}
+			}
+			continue
+		}
+
+		// Non-branch: perform the mechanism lookups at fetch time, when
+		// the speculative global history is exactly the hardware's.
+		if in.HasDest() {
+			if c.distPred != nil {
+				d.distLk = c.distPred.Lookup(in.PC, c.distHist)
+				d.distLkValid = true
+			}
+			if c.zp != nil {
+				d.zeroLk = c.zp.Lookup(in.PC)
+				d.zeroLkValid = true
+			}
+			if c.vp != nil {
+				d.vpLk = c.vp.Lookup(in.PC, c.vpHist)
+				d.vpLkValid = true
+			}
+		}
+		c.fetchQ = append(c.fetchQ, d)
+	}
+}
+
+// fetchBranch predicts a branch and maintains the speculative histories of
+// every history-indexed predictor.
+func (c *Core) fetchBranch(d *dyn) {
+	in := &d.in
+	// Snapshot the auxiliary histories before they are pushed, for repair.
+	if c.distHist != nil {
+		d.distSnap = c.distHist.Snapshot()
+	}
+	if c.vpHist != nil {
+		d.vpSnap = c.vpHist.Snapshot()
+	}
+	d.hasSnaps = true
+
+	d.brPred = c.bp.Predict(in)
+
+	// Push the *predicted* direction into the auxiliary histories.
+	dir := d.brPred.Taken
+	if in.BrKind != uarch.BrCond {
+		dir = true
+	}
+	if c.distHist != nil {
+		c.distHist.Push(in.PC, dir)
+	}
+	if c.vpHist != nil {
+		c.vpHist.Push(in.PC, dir)
+	}
+
+	// Trace-driven mispredict detection.
+	switch {
+	case in.BrKind == uarch.BrCond && d.brPred.Taken != in.Taken:
+		d.brMispred = true
+	case in.Taken && d.brPred.Taken && d.brPred.TargetHit && d.brPred.Target != in.Target:
+		d.brMispred = true
+	case in.Taken && d.brPred.Taken && !d.brPred.TargetHit && in.BrKind != uarch.BrCond:
+		// Direct branches compute their target at decode; only
+		// indirect targets must come from the BTB/RAS.
+		if in.BrKind == uarch.BrIndirect || in.BrKind == uarch.BrReturn {
+			d.brMispred = true
+		}
+	}
+}
+
+// resolveBranch is called when a branch finishes executing: train the
+// predictor and, on a mispredict, repair histories and release fetch.
+func (c *Core) resolveBranch(d *dyn) {
+	c.bp.Resolve(&d.in, &d.brPred, d.brMispred)
+	if !d.brMispred {
+		return
+	}
+	// Repair the auxiliary histories: rewind to the pre-branch state and
+	// push the actual outcome.
+	dir := d.in.Taken || d.in.BrKind != uarch.BrCond
+	if c.distHist != nil {
+		c.distHist.Restore(d.distSnap)
+		c.distHist.Push(d.in.PC, dir)
+	}
+	if c.vpHist != nil {
+		c.vpHist.Restore(d.vpSnap)
+		c.vpHist.Push(d.in.PC, dir)
+	}
+	if c.fetchBlocked == d {
+		c.fetchBlocked = nil
+		c.fetchResume = d.readyAt + 1
+	}
+}

@@ -1,0 +1,234 @@
+package pipeline
+
+import (
+	"rsepsim/internal/regfile"
+	"rsepsim/internal/rsep"
+	"rsepsim/internal/uarch"
+)
+
+func classFU(class uarch.Class) fuKind {
+	switch class {
+	case uarch.ClassIntAlu, uarch.ClassMove, uarch.ClassNop:
+		return fuALU
+	case uarch.ClassIntMul:
+		return fuMul
+	case uarch.ClassIntDiv:
+		return fuDiv
+	case uarch.ClassFPAlu:
+		return fuFP
+	case uarch.ClassFPMul:
+		return fuFPMul
+	case uarch.ClassFPDiv:
+		return fuFPDiv
+	case uarch.ClassLoad:
+		return fuLoad
+	case uarch.ClassStore:
+		return fuStore
+	case uarch.ClassBranch:
+		return fuBranch
+	}
+	return fuALU
+}
+
+func (c *Core) classLatency(class uarch.Class) uint64 {
+	cfg := c.cfg
+	switch class {
+	case uarch.ClassIntMul:
+		return cfg.IntMulLat
+	case uarch.ClassIntDiv:
+		return cfg.IntDivLat
+	case uarch.ClassFPAlu:
+		return cfg.FPAluLat
+	case uarch.ClassFPMul:
+		return cfg.FPMulLat
+	case uarch.ClassFPDiv:
+		return cfg.FPDivLat
+	default:
+		return cfg.IntAluLat
+	}
+}
+
+// anyFUOrder is the port preference for validation µ-ops under the
+// issue-2x-any-FU policy: the comparison only needs a 64-bit comparator fed
+// from the bypass network, so µ-ops are steered to the ports least likely to
+// starve real work — the store-only port and the FP ports first, the ALU
+// ports next, and the load ports only as a last resort (§IV-F1b).
+var anyFUOrder = []int{9, 4, 5, 6, 0, 1, 2, 3, 7, 8}
+
+// issue selects up to IssueWidth operations per cycle: pending validation
+// µ-ops first (the picker prioritises them, §IV-F1), then ready instructions
+// oldest-first onto compatible free ports.
+func (c *Core) issue() {
+	issued := 0
+	width := c.cfg.IssueWidth
+
+	// Validation µ-ops.
+	if len(c.valQ) > 0 {
+		rest := c.valQ[:0]
+		for i := range c.valQ {
+			uop := c.valQ[i]
+			if issued >= width || uop.readyAt > c.cycle {
+				rest = append(rest, uop)
+				continue
+			}
+			p := -1
+			if uop.port >= 0 {
+				// Same-FU policy: must use the owner's port.
+				if c.ports[uop.port].busyUntil <= c.cycle {
+					p = uop.port
+				}
+			} else {
+				for _, pi := range anyFUOrder {
+					if c.ports[pi].busyUntil <= c.cycle {
+						p = pi
+						break
+					}
+				}
+			}
+			if p < 0 {
+				rest = append(rest, uop)
+				continue
+			}
+			c.ports[p].busyUntil = c.cycle + 1
+			issued++
+			c.stats.ValidationUops++
+			uop.owner.valUopIssued = true
+		}
+		c.valQ = rest
+	}
+
+	// Main scheduler scan, oldest first.
+	for _, d := range c.iq {
+		if issued >= width {
+			break
+		}
+		if d.issued || !c.readyToIssue(d) {
+			continue
+		}
+		p := c.pickPort(d)
+		if p < 0 {
+			continue
+		}
+		c.issueOne(d, p)
+		issued++
+	}
+
+	// Compact the scheduler: entries leave when issued, except that
+	// instructions carrying a validation µ-op retain their entry until
+	// the µ-op issues (§IV-F1b: "must retain their scheduler entry for
+	// at least an additional cycle").
+	keep := c.iq[:0]
+	for _, d := range c.iq {
+		if d.issued && (!d.needValUop || d.valUopIssued) {
+			d.inIQ = false
+			continue
+		}
+		keep = append(keep, d)
+	}
+	c.iq = keep
+}
+
+// readyToIssue checks operand readiness, the RSEP validation dependency and
+// memory-dependence discipline.
+func (c *Core) readyToIssue(d *dyn) bool {
+	for i := 0; i < d.nsrc; i++ {
+		if c.prf.ReadyAt(d.srcPregs[i]) > c.cycle {
+			return false
+		}
+	}
+	// §IV-F1: under a real validation mechanism the predicted instruction
+	// is made dependent on the instruction producing the shared register,
+	// so the comparison operand is on the bypass when the µ-op issues.
+	// Training-only instructions hold no ISRB reference, so their
+	// would-be-shared register may have been recycled (epoch mismatch);
+	// they then compare against whatever occupies it, without waiting.
+	if d.needValUop && d.providerValid && d.providerPreg != regfile.ZeroPReg &&
+		c.epochs[d.providerPreg] == d.providerEpoch {
+		if c.prf.ReadyAt(d.providerPreg) > c.cycle {
+			return false
+		}
+	}
+	if d.in.IsLoad() && d.hasDepStore {
+		for _, s := range c.sq {
+			if s.seq() == d.depStoreSeq {
+				if !s.done {
+					return false
+				}
+				break
+			}
+		}
+	}
+	return true
+}
+
+func (c *Core) pickPort(d *dyn) int {
+	need := classFU(d.in.Class)
+	var order []int
+	switch {
+	case need == fuStore:
+		// Prefer the store-only port to keep load ports free.
+		order = []int{9, 7, 8}
+	case need == fuLoad:
+		order = []int{7, 8}
+	default:
+		order = anyFUOrder[:7]
+	}
+	for _, pi := range order {
+		if c.ports[pi].caps&need != 0 && c.ports[pi].busyUntil <= c.cycle {
+			return pi
+		}
+	}
+	return -1
+}
+
+func (c *Core) issueOne(d *dyn, p int) {
+	d.issued = true
+	d.port = p
+	d.issueCycle = c.cycle
+	busy := c.cycle + 1
+
+	var readyAt uint64
+	switch d.in.Class {
+	case uarch.ClassLoad:
+		readyAt = c.loadReady(d)
+	case uarch.ClassStore:
+		readyAt = c.cycle + 1
+		d.addrReadyAt = readyAt
+	case uarch.ClassIntDiv:
+		readyAt = c.cycle + c.cfg.IntDivLat
+		if !c.cfg.DivPipelined {
+			busy = readyAt // the divider is not pipelined (Table I)
+		}
+	case uarch.ClassFPDiv:
+		readyAt = c.cycle + c.cfg.FPDivLat
+		if !c.cfg.DivPipelined {
+			busy = readyAt
+		}
+	default:
+		readyAt = c.cycle + c.classLatency(d.in.Class)
+	}
+	c.ports[p].busyUntil = busy
+	d.readyAt = readyAt
+
+	// Destination readiness: only freshly allocated, non-value-predicted
+	// registers become ready through execution. Shared (RSEP) and zero
+	// registers follow their producer; value-predicted registers were
+	// ready at rename.
+	if d.alloc && d.kind != predValuePred {
+		c.prf.SetReadyAt(d.dstPreg, readyAt)
+	}
+
+	c.schedule(d, readyAt)
+
+	// Validation µ-op (§IV-F): issued once the result (and the shared
+	// register, guaranteed ready at issue by the extra dependency) is
+	// available — the cycle after for single-cycle ops, later for
+	// multi-cycle and variable-latency instructions.
+	if d.needValUop {
+		uport := -1
+		if c.rsepCfg != nil && c.rsepCfg.Validation == rsep.ValidateIssue2xSameFU {
+			uport = p
+		}
+		c.valQ = append(c.valQ, valUop{owner: d, readyAt: readyAt, port: uport})
+	}
+}

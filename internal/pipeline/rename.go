@@ -1,0 +1,252 @@
+package pipeline
+
+import (
+	"rsepsim/internal/regfile"
+	"rsepsim/internal/uarch"
+)
+
+// rename renames and dispatches up to RenameWidth instructions per cycle,
+// applying the mechanisms in precedence order: zero-idiom elimination (non
+// speculative), move elimination (non speculative), distance prediction
+// (RSEP), zero prediction, value prediction.
+func (c *Core) rename() {
+	width := c.cfg.RenameWidth
+	for n := 0; n < width && len(c.fetchQ) > 0; n++ {
+		d := c.fetchQ[0]
+		if d.renameReady > c.cycle {
+			return
+		}
+		if c.robLen() >= c.cfg.ROBSize {
+			return
+		}
+		in := &d.in
+		if in.IsLoad() && len(c.lq) >= c.cfg.LQSize {
+			return
+		}
+		if in.IsStore() && len(c.sq) >= c.cfg.SQSize {
+			return
+		}
+		needsPreg := in.HasDest()
+
+		// Reset mechanism state: a stalled rename attempt (no register,
+		// no IQ entry) retries from scratch next cycle.
+		d.kind = predNone
+		d.shared = false
+		d.alloc = false
+		d.trainViaVal = false
+		d.providerValid = false
+		d.needValUop = false
+		d.valWrong = false
+		d.predictedDist = 0
+		d.dstPreg = regfile.PRegNone
+
+		// Source operands.
+		d.nsrc = 0
+		for _, s := range in.Sources() {
+			d.srcPregs[d.nsrc] = c.rat.Get(int(s))
+			d.nsrc++
+		}
+
+		// Mechanism selection for the destination.
+		mech := predNone
+		var sharedPreg regfile.PReg = regfile.PRegNone
+		if in.HasDest() {
+			switch {
+			case c.cfg.ZeroIdiomElim && in.ZeroIdiom:
+				mech = predZeroIdiom
+			case c.cfg.MoveElim && in.Class == uarch.ClassMove && d.nsrc == 1:
+				// Move elimination: rename the destination to the
+				// source's physical register, with an ISRB
+				// reference unless it is the zero register.
+				p := d.srcPregs[0]
+				if p == regfile.ZeroPReg {
+					mech = predMoveElim
+					sharedPreg = p
+				} else if c.isrb.Share(p) {
+					mech = predMoveElim
+					sharedPreg = p
+					d.shared = true
+				}
+			}
+			// §IV-H1: no distance prediction for 64-bit moves — move
+			// elimination handles them non-speculatively.
+			if mech == predNone && c.distPred != nil && d.distLkValid && d.distLk.UsePred &&
+				in.Class != uarch.ClassMove {
+				if ent, ok := c.ringAt(d.distLk.Dist); ok {
+					share := true
+					if ent.preg != regfile.ZeroPReg {
+						share = c.isrb.Share(ent.preg)
+					}
+					if share {
+						mech = predDistPred
+						sharedPreg = ent.preg
+						d.shared = ent.preg != regfile.ZeroPReg
+						d.providerPreg = ent.preg
+						d.providerEpoch = ent.epoch
+						d.providerResult = ent.result
+						d.providerValid = true
+						d.predictedDist = d.distLk.Dist
+						d.valWrong = ent.result != in.Result
+					}
+				}
+			}
+			if mech == predNone && c.zp != nil && d.zeroLkValid && d.zeroLk.PredictZero {
+				mech = predZeroPred
+				sharedPreg = regfile.ZeroPReg
+				d.valWrong = in.Result != 0
+			}
+			if mech == predNone && c.vp != nil && d.vpLkValid && d.vpLk.UsePred {
+				mech = predValuePred
+				d.valWrong = d.vpLk.Value != in.Result
+			}
+		}
+		d.kind = mech
+
+		// Sampling: instructions above start_train but below use_pred
+		// train through the validation mechanism (§IV-B3). They keep
+		// their own register but are issued twice and carry the extra
+		// dependency, comparing against the would-be-shared register.
+		// Moves are excluded, as they are from distance prediction.
+		if mech == predNone && c.rsepCfg != nil && c.rsepCfg.Sampling &&
+			d.distLkValid && d.distLk.Train && !d.distLk.UsePred && in.HasDest() &&
+			in.Class != uarch.ClassMove {
+			if ent, ok := c.ringAt(d.distLk.Dist); ok {
+				d.trainViaVal = true
+				d.providerPreg = ent.preg
+				d.providerEpoch = ent.epoch
+				d.providerResult = ent.result
+				d.providerValid = true
+				d.predictedDist = d.distLk.Dist
+			}
+		}
+
+		// Destination allocation.
+		switch mech {
+		case predZeroIdiom:
+			d.dstPreg = regfile.ZeroPReg
+			needsPreg = false
+		case predMoveElim:
+			d.dstPreg = sharedPreg
+			needsPreg = false
+		case predZeroPred, predDistPred:
+			d.dstPreg = sharedPreg
+			needsPreg = false // the point of RSEP: no fresh register
+		}
+		needsIQ := mech != predZeroIdiom && mech != predMoveElim && in.Class != uarch.ClassNop
+
+		if needsPreg {
+			p, ok := c.prf.Alloc(in.Dst.IsFP())
+			if !ok {
+				// Undo any reference taken this cycle and stall.
+				if d.shared {
+					c.isrb.Unref(sharedPreg)
+					d.shared = false
+					d.kind = predNone
+					d.providerValid = false
+				}
+				return
+			}
+			d.dstPreg = p
+			d.alloc = true
+			c.epochs[p]++
+		}
+		if needsIQ {
+			if len(c.iq) >= c.cfg.IQSize {
+				// No scheduler entry: undo and stall.
+				if d.alloc {
+					c.prf.Free(d.dstPreg)
+					d.alloc = false
+				}
+				if d.shared {
+					c.isrb.Unref(d.dstPreg)
+					d.shared = false
+				}
+				d.kind = predNone
+				d.dstPreg = regfile.PRegNone
+				d.providerValid = false
+				return
+			}
+		}
+
+		// Commit the rename.
+		c.fetchQ = c.fetchQ[1:]
+		if in.HasDest() {
+			d.oldPreg = c.rat.Set(d.archDest, d.dstPreg)
+		}
+
+		// Value prediction: the destination becomes available
+		// immediately with the predicted value.
+		if mech == predValuePred {
+			c.prf.SetValue(d.dstPreg, d.vpLk.Value)
+			c.prf.SetReadyAt(d.dstPreg, c.cycle)
+		}
+
+		// Validation µ-op requirement (§IV-F).
+		if c.rsepCfg != nil && c.rsepCfg.Validation != 0 {
+			if mech == predDistPred || mech == predZeroPred || d.trainViaVal {
+				d.needValUop = true
+			}
+		}
+
+		if needsIQ {
+			c.iq = append(c.iq, d)
+			d.inIQ = true
+		} else {
+			d.done = true
+			d.readyAt = c.cycle
+		}
+
+		// LSQ entries and store-set discipline.
+		if in.IsLoad() {
+			c.lq = append(c.lq, d)
+			if seq, ok := c.ss.LoadDependence(in.PC); ok {
+				d.hasDepStore = true
+				d.depStoreSeq = seq
+			}
+		}
+		if in.IsStore() {
+			c.sq = append(c.sq, d)
+			c.ss.StoreRename(in.PC, in.Seq)
+		}
+
+		// Rename-side FIFO of result producers (the paper's dedicated
+		// ROB-managed FIFO used to retrieve shared register ids).
+		if in.HasDest() {
+			c.ring = append(c.ring, ringEnt{
+				seq:    in.Seq,
+				preg:   d.dstPreg,
+				result: in.Result,
+				epoch:  c.epochOf(d.dstPreg),
+			})
+			if len(c.ring) > 4*c.cfg.ROBSize {
+				c.ring = append(c.ring[:0], c.ring[2*c.cfg.ROBSize:]...)
+			}
+		}
+
+		c.rob = append(c.rob, d)
+	}
+}
+
+func (c *Core) epochOf(p regfile.PReg) uint32 {
+	if p <= regfile.ZeroPReg {
+		return 0
+	}
+	return c.epochs[p]
+}
+
+// ringAt returns the rename-side FIFO entry dist result-producers back, if
+// it is still live (its physical register still holds that result — the
+// ROB-window guarantee of §IV-E1).
+func (c *Core) ringAt(dist uint16) (ringEnt, bool) {
+	if dist == 0 || int(dist) > len(c.ring) {
+		return ringEnt{}, false
+	}
+	ent := c.ring[len(c.ring)-int(dist)]
+	if ent.preg == regfile.ZeroPReg {
+		return ent, true
+	}
+	if !c.prf.Allocated(ent.preg) || c.epochs[ent.preg] != ent.epoch {
+		return ringEnt{}, false
+	}
+	return ent, true
+}

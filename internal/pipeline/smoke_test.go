@@ -1,0 +1,65 @@
+package pipeline
+
+import (
+	"testing"
+
+	"rsepsim/internal/config"
+	"rsepsim/internal/rsep"
+	"rsepsim/internal/vpred"
+	"rsepsim/internal/workload"
+)
+
+func runBench(t *testing.T, bench string, cfg *config.Config, n uint64) *Core {
+	t.Helper()
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := New(cfg, workload.New(prof, 42))
+	got := core.Run(n)
+	if got < n {
+		t.Fatalf("%s: committed %d < %d", bench, got, n)
+	}
+	return core
+}
+
+func TestSmokeBaseline(t *testing.T) {
+	core := runBench(t, "mcf", config.TableI(), 50_000)
+	st := core.Stats()
+	ipc := st.IPC()
+	t.Logf("mcf baseline: IPC=%.3f cycles=%d committed=%d brMiss=%d squashes=%d",
+		ipc, st.Cycles, st.Committed, st.BranchMispredicts, st.Squashes)
+	if ipc <= 0.05 || ipc > 8 {
+		t.Fatalf("implausible IPC %.3f", ipc)
+	}
+}
+
+func TestSmokeRSEP(t *testing.T) {
+	cfg := config.TableI().WithRSEP(rsep.Ideal())
+	core := runBench(t, "mcf", cfg, 50_000)
+	st := core.Stats()
+	t.Logf("mcf RSEP: IPC=%.3f dist=%d distLoad=%d zero=%d move=%d mispred=%d",
+		st.IPC(), st.DistPred, st.DistPredLoad, st.ZeroPred, st.MoveElim, st.DistMispredicts)
+}
+
+func TestSmokeVP(t *testing.T) {
+	cfg := config.TableI().WithVP(vpred.BeBoP())
+	core := runBench(t, "perlbench", cfg, 50_000)
+	st := core.Stats()
+	t.Logf("perlbench VP: IPC=%.3f vp=%d vpLoad=%d mispred=%d",
+		st.IPC(), st.ValuePred, st.ValuePredLoad, st.ValueMispredicts)
+}
+
+func TestSmokeAllBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, name := range workload.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			core := runBench(t, name, config.TableI(), 20_000)
+			st := core.Stats()
+			t.Logf("%s: IPC=%.3f", name, st.IPC())
+		})
+	}
+}

@@ -1,0 +1,122 @@
+package pipeline
+
+// squashFrom flushes every inflight instruction with sequence number >= seq:
+// rename state is rolled back by walking the ROB youngest-first (restoring
+// RAT entries, returning registers, un-referencing the ISRB — the software
+// equivalent of the paper's checkpoint restore), the front end redirects,
+// and the replay buffer rewinds so the same dynamic instructions stream out
+// again.
+func (c *Core) squashFrom(seq uint64) {
+	c.stats.Squashes++
+
+	var oldestBranch *dyn
+
+	// Front-end queue: everything there is younger than anything renamed.
+	keepFQ := c.fetchQ[:0]
+	for _, d := range c.fetchQ {
+		if d.seq() >= seq {
+			d.squashed = true
+			if d.in.IsBranch() && (oldestBranch == nil || d.seq() < oldestBranch.seq()) {
+				oldestBranch = d
+			}
+			if c.vp != nil && d.vpLkValid {
+				c.vp.Squash(&d.vpLk)
+			}
+			continue
+		}
+		keepFQ = append(keepFQ, d)
+	}
+	c.fetchQ = keepFQ
+
+	// ROB walk-back, youngest first.
+	cut := len(c.rob)
+	for cut > c.robHead && c.rob[cut-1].seq() >= seq {
+		cut--
+	}
+	for i := len(c.rob) - 1; i >= cut; i-- {
+		d := c.rob[i]
+		d.squashed = true
+		if d.in.IsBranch() && (oldestBranch == nil || d.seq() < oldestBranch.seq()) {
+			oldestBranch = d
+		}
+		if c.vp != nil && d.vpLkValid {
+			c.vp.Squash(&d.vpLk)
+		}
+		if d.archDest >= 0 {
+			c.rat.Set(d.archDest, d.oldPreg)
+			switch {
+			case d.shared:
+				if freed, _ := c.isrb.Unref(d.dstPreg); freed {
+					c.freePreg(d.dstPreg)
+				}
+			case d.alloc:
+				c.isrb.DropOwner(d.dstPreg)
+				c.freePreg(d.dstPreg)
+			}
+		}
+	}
+	c.rob = c.rob[:cut]
+
+	// Scheduler and LSQ.
+	keepIQ := c.iq[:0]
+	for _, d := range c.iq {
+		if !d.squashed {
+			keepIQ = append(keepIQ, d)
+		}
+	}
+	c.iq = keepIQ
+	keepLQ := c.lq[:0]
+	for _, d := range c.lq {
+		if !d.squashed {
+			keepLQ = append(keepLQ, d)
+		}
+	}
+	c.lq = keepLQ
+	keepSQ := c.sq[:0]
+	for _, d := range c.sq {
+		if !d.squashed {
+			keepSQ = append(keepSQ, d)
+		}
+	}
+	c.sq = keepSQ
+	keepVQ := c.valQ[:0]
+	for _, u := range c.valQ {
+		if !u.owner.squashed {
+			keepVQ = append(keepVQ, u)
+		}
+	}
+	c.valQ = keepVQ
+
+	// Rename-side producer FIFO rollback.
+	cutR := len(c.ring)
+	for cutR > 0 && c.ring[cutR-1].seq >= seq {
+		cutR--
+	}
+	c.ring = c.ring[:cutR]
+
+	// Speculative history repair: rewind to the state just before the
+	// oldest squashed branch was predicted. If no branch was squashed,
+	// no history bits were pushed after seq and nothing needs repair.
+	if oldestBranch != nil && oldestBranch.hasSnaps {
+		c.bp.RestoreFrom(&oldestBranch.brPred)
+		if c.distHist != nil {
+			c.distHist.Restore(oldestBranch.distSnap)
+		}
+		if c.vpHist != nil {
+			c.vpHist.Restore(oldestBranch.vpSnap)
+		}
+	}
+
+	if c.fetchBlocked != nil && c.fetchBlocked.squashed {
+		c.fetchBlocked = nil
+	}
+
+	// Redirect: refetch from seq. The refill delay is modelled by the
+	// front-end depth the refetched instructions traverse.
+	c.src.RewindTo(seq)
+	c.srcDone = false
+	c.lastLine = 0
+	if c.fetchResume < c.cycle+1 {
+		c.fetchResume = c.cycle + 1
+	}
+}

@@ -1,0 +1,161 @@
+// Package predictor provides the building blocks shared by the branch,
+// distance and value predictors: saturating and probabilistic confidence
+// counters, folded global histories and a generic TAGE engine with an
+// arbitrary payload.
+package predictor
+
+import "math/rand"
+
+// SatCounter is an unsigned saturating counter with a configurable ceiling.
+// The zero value is a counter at zero with Max 0; call Init or set Max before
+// use.
+type SatCounter struct {
+	V   uint32
+	Max uint32
+}
+
+// Inc increments the counter, saturating at Max.
+func (c *SatCounter) Inc() {
+	if c.V < c.Max {
+		c.V++
+	}
+}
+
+// Dec decrements the counter, saturating at zero.
+func (c *SatCounter) Dec() {
+	if c.V > 0 {
+		c.V--
+	}
+}
+
+// Reset clears the counter.
+func (c *SatCounter) Reset() { c.V = 0 }
+
+// Saturated reports whether the counter has reached Max.
+func (c *SatCounter) Saturated() bool { return c.V >= c.Max }
+
+// ProbCounter implements the Riley/Zilles forward probabilistic counter used
+// by the paper's confidence scheme: a narrow (3-bit) counter whose increments
+// succeed with geometrically decreasing probability, so that reaching
+// saturation requires ~255 consecutive correct outcomes in expectation while
+// storing only 3 bits.
+//
+// The increment probabilities are 1, 1/4, 1/8, 1/16, 1/32, 1/64, 1/128: the
+// expected number of correct outcomes to reach level k is the sum of the
+// inverse probabilities below k, i.e. 1, 5, 13, 29, 61, 125, 253 for levels
+// 1..7. Level 7 therefore corresponds to the paper's confidence 255, level 5
+// to threshold 63 and level 3..4 straddle threshold 15.
+type ProbCounter struct {
+	Level uint8 // 0..7
+}
+
+// probShift[k] is log2 of the inverse increment probability at level k.
+var probShift = [7]uint{0, 2, 3, 4, 5, 6, 7}
+
+// probCum[k] is the expected number of correct outcomes needed to reach
+// level k.
+var probCum = [8]uint32{0, 1, 5, 13, 29, 61, 125, 253}
+
+// ProbMaxLevel is the saturation level of a ProbCounter.
+const ProbMaxLevel = 7
+
+// Inc attempts a probabilistic increment using rng and reports whether the
+// level changed.
+func (c *ProbCounter) Inc(rng *rand.Rand) bool {
+	if c.Level >= ProbMaxLevel {
+		return false
+	}
+	if rng.Uint64()&((1<<probShift[c.Level])-1) == 0 {
+		c.Level++
+		return true
+	}
+	return false
+}
+
+// Reset clears the counter.
+func (c *ProbCounter) Reset() { c.Level = 0 }
+
+// Saturated reports whether the counter is at its maximum level.
+func (c *ProbCounter) Saturated() bool { return c.Level >= ProbMaxLevel }
+
+// ProbLevelFor maps an occurrence-space confidence threshold (such as the
+// paper's 15, 63 and 255) to the nearest probabilistic counter level.
+func ProbLevelFor(occurrences int) uint8 {
+	best, bestDiff := uint8(ProbMaxLevel), int(1)<<30
+	for lvl := 1; lvl <= ProbMaxLevel; lvl++ {
+		d := int(probCum[lvl]) - occurrences
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDiff {
+			bestDiff = d
+			best = uint8(lvl)
+		}
+	}
+	return best
+}
+
+// Confidence abstracts the two counter implementations behind one interface
+// so predictors can be switched between the paper's probabilistic scheme and
+// a deterministic 8-bit equivalent (the default, which makes the thresholds
+// 15/63/255 exact and runs reproducible without RNG coupling).
+type Confidence interface {
+	// Correct records a correct outcome.
+	Correct()
+	// Wrong records an incorrect outcome (resets confidence).
+	Wrong()
+	// AtLeast reports whether confidence has reached the given
+	// occurrence-space threshold.
+	AtLeast(occurrences int) bool
+	// Reset clears the confidence.
+	Reset()
+	// Bits is the storage charged per counter, in bits.
+	Bits() int
+}
+
+// DetConf is a deterministic 8-bit confidence counter (0..255).
+type DetConf struct{ v uint8 }
+
+// Correct increments the counter, saturating at 255.
+func (c *DetConf) Correct() {
+	if c.v < 255 {
+		c.v++
+	}
+}
+
+// Wrong resets the counter.
+func (c *DetConf) Wrong() { c.v = 0 }
+
+// AtLeast reports whether the counter has reached occ.
+func (c *DetConf) AtLeast(occ int) bool { return int(c.v) >= occ }
+
+// Reset clears the counter.
+func (c *DetConf) Reset() { c.v = 0 }
+
+// Bits reports the paper's storage charge: 3 bits, since the hardware
+// embodiment is the 3-bit probabilistic counter this type stands in for.
+func (c *DetConf) Bits() int { return 3 }
+
+// Value exposes the raw count (for tests and diagnostics).
+func (c *DetConf) Value() int { return int(c.v) }
+
+// FPConf wraps ProbCounter to satisfy Confidence.
+type FPConf struct {
+	C   ProbCounter
+	RNG *rand.Rand
+}
+
+// Correct performs a probabilistic increment.
+func (c *FPConf) Correct() { c.C.Inc(c.RNG) }
+
+// Wrong resets the counter.
+func (c *FPConf) Wrong() { c.C.Reset() }
+
+// AtLeast reports whether the level has reached the level mapped from occ.
+func (c *FPConf) AtLeast(occ int) bool { return c.C.Level >= ProbLevelFor(occ) }
+
+// Reset clears the counter.
+func (c *FPConf) Reset() { c.C.Reset() }
+
+// Bits reports the 3-bit storage of the counter.
+func (c *FPConf) Bits() int { return 3 }

@@ -1,0 +1,132 @@
+package predictor
+
+// GlobalHistory records the global branch direction history and a short path
+// history, and maintains incrementally folded images of the direction history
+// for a set of fold widths (one per TAGE component). Folding a geometric
+// history into an index in O(1) per update is the standard TAGE
+// implementation technique.
+//
+// The history is updated speculatively at prediction time; Snapshot/Restore
+// provide the checkpointing the pipeline needs to repair it after a squash.
+type GlobalHistory struct {
+	bits []uint64 // ring buffer of direction bits
+	pos  int      // index of the most recent bit
+	path uint64   // low bits of recent branch PCs
+
+	folds []foldedReg
+}
+
+type foldedReg struct {
+	histLen  int
+	width    int
+	val      uint32
+	outShift uint // position of the outgoing bit within the fold
+}
+
+// Snapshot capacity limits: histories up to maxHistoryBits direction bits
+// and maxFolds folded registers can be checkpointed without allocation.
+const (
+	maxHistoryWords = 16
+	maxFolds        = 16
+)
+
+// MaxHistoryBits is the largest supported geometric history length.
+const MaxHistoryBits = (maxHistoryWords - 2) * 64
+
+// NewGlobalHistory returns a history capable of folding the given history
+// lengths into the given index widths. len(histLens) must equal len(widths).
+func NewGlobalHistory(histLens, widths []int) *GlobalHistory {
+	maxLen := 1
+	for _, l := range histLens {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	if maxLen > MaxHistoryBits {
+		panic("predictor: history length exceeds snapshot capacity")
+	}
+	if len(histLens) > maxFolds {
+		panic("predictor: too many folded histories")
+	}
+	words := (maxLen+2)/64 + 2
+	g := &GlobalHistory{bits: make([]uint64, words)}
+	for i, l := range histLens {
+		w := widths[i]
+		if w <= 0 {
+			w = 1
+		}
+		g.folds = append(g.folds, foldedReg{
+			histLen:  l,
+			width:    w,
+			outShift: uint(l % w),
+		})
+	}
+	return g
+}
+
+func (g *GlobalHistory) bitAt(age int) uint32 {
+	idx := g.pos - age
+	n := len(g.bits) * 64
+	idx = ((idx % n) + n) % n
+	return uint32(g.bits[idx/64]>>(uint(idx)%64)) & 1
+}
+
+// Push records a branch outcome (and its PC into the path history) and
+// updates all folded registers.
+func (g *GlobalHistory) Push(pc uint64, taken bool) {
+	n := len(g.bits) * 64
+	g.pos = (g.pos + 1) % n
+	w, b := g.pos/64, uint(g.pos)%64
+	var nb uint64
+	if taken {
+		nb = 1
+	}
+	g.bits[w] = g.bits[w] &^ (1 << b)
+	g.bits[w] |= nb << b
+	g.path = g.path<<1 | (pc>>2)&1
+
+	for i := range g.folds {
+		f := &g.folds[i]
+		// Insert the new bit, rotate, remove the outgoing bit.
+		in := uint32(nb)
+		out := g.bitAt(f.histLen) // the bit that just fell off this fold's window
+		f.val = (f.val << 1) | in
+		f.val ^= out << f.outShift
+		f.val ^= f.val >> uint(f.width)
+		f.val &= (1 << uint(f.width)) - 1
+	}
+}
+
+// Fold returns the folded image for component i.
+func (g *GlobalHistory) Fold(i int) uint32 { return g.folds[i].val }
+
+// Path returns the low bits of the path history.
+func (g *GlobalHistory) Path() uint64 { return g.path }
+
+// HistorySnapshot captures the full history state as a fixed-size value
+// (no heap allocation), so the pipeline can attach one to each inflight
+// branch cheaply.
+type HistorySnapshot struct {
+	bits  [maxHistoryWords]uint64
+	pos   int
+	path  uint64
+	folds [maxFolds]foldedReg
+}
+
+// Snapshot returns a copy of the current state.
+func (g *GlobalHistory) Snapshot() HistorySnapshot {
+	var s HistorySnapshot
+	copy(s.bits[:], g.bits)
+	s.pos = g.pos
+	s.path = g.path
+	copy(s.folds[:], g.folds)
+	return s
+}
+
+// Restore rewinds the history to a previous snapshot.
+func (g *GlobalHistory) Restore(s HistorySnapshot) {
+	copy(g.bits, s.bits[:])
+	g.pos = s.pos
+	g.path = s.path
+	copy(g.folds, s.folds[:])
+}

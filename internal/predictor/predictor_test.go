@@ -1,0 +1,249 @@
+package predictor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSatCounter(t *testing.T) {
+	c := SatCounter{Max: 3}
+	for i := 0; i < 5; i++ {
+		c.Inc()
+	}
+	if c.V != 3 || !c.Saturated() {
+		t.Fatalf("counter = %d, want saturated at 3", c.V)
+	}
+	for i := 0; i < 5; i++ {
+		c.Dec()
+	}
+	if c.V != 0 {
+		t.Fatalf("counter = %d, want 0", c.V)
+	}
+}
+
+func TestProbCounterExpectation(t *testing.T) {
+	// Reaching saturation should take ~253 correct outcomes on average.
+	rng := rand.New(rand.NewSource(7))
+	const trials = 300
+	total := 0
+	for i := 0; i < trials; i++ {
+		var c ProbCounter
+		n := 0
+		for !c.Saturated() {
+			c.Inc(rng)
+			n++
+		}
+		total += n
+	}
+	avg := float64(total) / trials
+	if avg < 150 || avg > 400 {
+		t.Fatalf("mean saturation cost = %.0f, want ~253", avg)
+	}
+}
+
+func TestProbLevelFor(t *testing.T) {
+	tests := []struct {
+		occ  int
+		want uint8
+	}{{1, 1}, {255, 7}, {253, 7}, {61, 5}, {63, 5}, {13, 3}}
+	for _, tt := range tests {
+		if got := ProbLevelFor(tt.occ); got != tt.want {
+			t.Errorf("ProbLevelFor(%d) = %d, want %d", tt.occ, got, tt.want)
+		}
+	}
+}
+
+func TestDetPolicyThresholds(t *testing.T) {
+	p := DetPolicy{}
+	v := uint8(0)
+	for i := 0; i < 255; i++ {
+		v = p.Correct(v)
+	}
+	if !p.AtLeast(v, 255) {
+		t.Fatal("255 corrects must reach threshold 255")
+	}
+	if p.Correct(v) != 255 {
+		t.Fatal("must saturate at 255")
+	}
+	if p.Wrong(v) != 0 {
+		t.Fatal("wrong must reset")
+	}
+	if p.Bits() != 3 {
+		t.Fatal("deterministic counter charged at 3 bits (FPC equivalent)")
+	}
+}
+
+// Property: the incremental folded history always equals a from-scratch
+// fold of the same bit sequence.
+func TestQuickFoldedHistory(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		histLens := []int{5, 17, 40}
+		widths := []int{7, 9, 11}
+		g := NewGlobalHistory(histLens, widths)
+		var bits []bool
+		steps := int(n%500) + 20
+		for i := 0; i < steps; i++ {
+			taken := rng.Intn(2) == 0
+			bits = append(bits, taken)
+			g.Push(uint64(rng.Intn(1<<20))<<2, taken)
+		}
+		for k := range histLens {
+			if g.Fold(k) != naiveFold(bits, histLens[k], widths[k]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// naiveFold recomputes the folded register from scratch using the same
+// shift-insert-fold recurrence over the last histLen bits.
+func naiveFold(bits []bool, histLen, width int) uint32 {
+	var val uint32
+	start := 0
+	if len(bits) > 0 {
+		start = 0
+	}
+	for i := start; i < len(bits); i++ {
+		var in uint32
+		if bits[i] {
+			in = 1
+		}
+		var out uint32
+		if j := i - histLen; j >= 0 && bits[j] {
+			out = 1
+		}
+		val = (val << 1) | in
+		val ^= out << uint(histLen%width)
+		val ^= val >> uint(width)
+		val &= 1<<uint(width) - 1
+	}
+	return val
+}
+
+func TestHistorySnapshotRestore(t *testing.T) {
+	g := NewGlobalHistory([]int{8, 32}, []int{6, 8})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		g.Push(rng.Uint64(), rng.Intn(2) == 0)
+	}
+	snap := g.Snapshot()
+	f0, f1, path := g.Fold(0), g.Fold(1), g.Path()
+	for i := 0; i < 50; i++ {
+		g.Push(rng.Uint64(), rng.Intn(2) == 0)
+	}
+	g.Restore(snap)
+	if g.Fold(0) != f0 || g.Fold(1) != f1 || g.Path() != path {
+		t.Fatal("snapshot/restore did not round-trip")
+	}
+	// Divergent futures from the same restored state must agree.
+	g2 := NewGlobalHistory([]int{8, 32}, []int{6, 8})
+	g2.Restore(snap)
+	g.Push(100, true)
+	g2.Push(100, true)
+	if g.Fold(0) != g2.Fold(0) || g.Fold(1) != g2.Fold(1) {
+		t.Fatal("restored histories diverge on identical input")
+	}
+}
+
+func newTestTAGE(t *testing.T) (*TAGE[uint16], *GlobalHistory) {
+	t.Helper()
+	cfg := TAGEConfig{
+		BaseEntries:  256,
+		TableEntries: []int{64, 64, 64},
+		HistLens:     []int{4, 8, 16},
+		TagBits:      []int{9, 9, 9},
+		PayloadBits:  8,
+		UBits:        1,
+	}
+	tage := NewTAGE[uint16](cfg, nil, rand.New(rand.NewSource(11)))
+	hist := NewGlobalHistory(cfg.HistLens, cfg.HistoryWidths())
+	return tage, hist
+}
+
+func TestTAGELearnsConstantPayload(t *testing.T) {
+	tage, hist := newTestTAGE(t)
+	pc := uint64(0x400)
+	for i := 0; i < 300; i++ {
+		lk := tage.Lookup(pc, hist)
+		tage.Update(&lk, 42)
+	}
+	lk := tage.Lookup(pc, hist)
+	if lk.Payload != 42 {
+		t.Fatalf("payload = %d, want 42", lk.Payload)
+	}
+	if !tage.ConfAtLeast(&lk, 255) {
+		t.Fatal("confidence should be saturated after 300 identical outcomes")
+	}
+}
+
+func TestTAGEHistoryCorrelatedPayload(t *testing.T) {
+	// The payload alternates with a branch-history pattern that the base
+	// table cannot see but a tagged component can.
+	tage, hist := newTestTAGE(t)
+	pc := uint64(0x800)
+	correct := 0
+	for i := 0; i < 4000; i++ {
+		phase := i % 2
+		lk := tage.Lookup(pc, hist)
+		want := uint16(10 + phase)
+		if lk.Payload == want && lk.Hit {
+			correct++
+		}
+		tage.Update(&lk, want)
+		hist.Push(0x123, phase == 0)
+	}
+	if correct < 1500 {
+		t.Fatalf("history-correlated hits = %d/4000, want most of the tail", correct)
+	}
+}
+
+func TestTAGEConfidenceResetsOnChange(t *testing.T) {
+	tage, hist := newTestTAGE(t)
+	pc := uint64(0xc00)
+	for i := 0; i < 300; i++ {
+		lk := tage.Lookup(pc, hist)
+		tage.Update(&lk, 7)
+	}
+	lk := tage.Lookup(pc, hist)
+	tage.Update(&lk, 9) // behaviour change
+	lk = tage.Lookup(pc, hist)
+	if tage.ConfAtLeast(&lk, 255) {
+		t.Fatal("confidence must drop after a payload change")
+	}
+}
+
+func TestGShareLearns(t *testing.T) {
+	g := NewGShare[uint16](256, 256, 8, nil)
+	hist := NewGlobalHistory([]int{8}, []int{8})
+	pc := uint64(0x1000)
+	for i := 0; i < 300; i++ {
+		lk := g.Lookup(pc, hist)
+		g.Update(&lk, 5)
+	}
+	lk := g.Lookup(pc, hist)
+	if lk.Payload != 5 || !g.ConfAtLeast(&lk, 255) {
+		t.Fatalf("gshare payload = %d conf=%d", lk.Payload, lk.Conf)
+	}
+}
+
+func TestTAGEStorageAccounting(t *testing.T) {
+	cfg := TAGEConfig{
+		BaseEntries:  1024,
+		TableEntries: []int{512},
+		HistLens:     []int{8},
+		TagBits:      []int{10},
+		PayloadBits:  8,
+		UBits:        1,
+	}
+	// base: 1024*(8+3); tagged: 512*(8+3+10+1)
+	want := 1024*11 + 512*22
+	if got := cfg.StorageBits(3); got != want {
+		t.Fatalf("StorageBits = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,344 @@
+package predictor
+
+import "math/rand"
+
+// ConfPolicy interprets the per-entry confidence byte stored in prediction
+// tables. The deterministic policy counts occurrences exactly (0..255); the
+// probabilistic policy emulates the paper's 3-bit forward probabilistic
+// counters.
+type ConfPolicy interface {
+	// Correct returns the new confidence after a correct outcome.
+	Correct(v uint8) uint8
+	// Wrong returns the new confidence after an incorrect outcome.
+	Wrong(v uint8) uint8
+	// AtLeast reports whether v has reached an occurrence-space threshold
+	// (e.g. the paper's 15, 63, 255).
+	AtLeast(v uint8, occ int) bool
+	// Bits is the storage charged per counter.
+	Bits() int
+}
+
+// DetPolicy is the deterministic 8-bit confidence policy (default). Storage
+// is still charged at 3 bits, matching the probabilistic hardware counter it
+// stands in for; see DESIGN.md §2.
+type DetPolicy struct{}
+
+func (DetPolicy) Correct(v uint8) uint8 {
+	if v < 255 {
+		return v + 1
+	}
+	return v
+}
+func (DetPolicy) Wrong(uint8) uint8             { return 0 }
+func (DetPolicy) AtLeast(v uint8, occ int) bool { return int(v) >= occ }
+func (DetPolicy) Bits() int                     { return 3 }
+
+// ProbPolicy implements the 3-bit probabilistic counter policy.
+type ProbPolicy struct{ RNG *rand.Rand }
+
+func (p ProbPolicy) Correct(v uint8) uint8 {
+	c := ProbCounter{Level: v}
+	c.Inc(p.RNG)
+	return c.Level
+}
+func (ProbPolicy) Wrong(uint8) uint8 { return 0 }
+func (ProbPolicy) AtLeast(v uint8, occ int) bool {
+	return v >= ProbLevelFor(occ)
+}
+func (ProbPolicy) Bits() int { return 3 }
+
+// TAGEConfig sizes a payload TAGE predictor.
+type TAGEConfig struct {
+	BaseEntries  int   // untagged, PC-indexed base component
+	TableEntries []int // per tagged component
+	HistLens     []int // per tagged component, geometric history lengths
+	TagBits      []int // per tagged component
+	PayloadBits  int   // payload width, for storage accounting
+	UBits        int   // useful-bit width (1 in the paper)
+}
+
+// HistoryWidths returns the fold widths (index bits per component) needed to
+// build a GlobalHistory compatible with this configuration.
+func (c *TAGEConfig) HistoryWidths() []int {
+	w := make([]int, len(c.TableEntries))
+	for i, n := range c.TableEntries {
+		w[i] = log2(n)
+	}
+	return w
+}
+
+// StorageBits returns the predictor's storage budget in bits, using the
+// paper's accounting (payload + confidence per entry; tag + useful bit on
+// tagged entries).
+func (c *TAGEConfig) StorageBits(confBits int) int {
+	bits := c.BaseEntries * (c.PayloadBits + confBits)
+	for i, n := range c.TableEntries {
+		bits += n * (c.PayloadBits + confBits + c.TagBits[i] + c.UBits)
+	}
+	return bits
+}
+
+func log2(n int) int {
+	b := 0
+	for 1<<uint(b) < n {
+		b++
+	}
+	return b
+}
+
+type tagePayloadEntry[P comparable] struct {
+	payload P
+	conf    uint8
+	tag     uint32
+	u       uint8
+	valid   bool
+}
+
+// TAGE is a generic TAGE-style predictor: a PC-indexed untagged base table
+// backed by partially tagged components indexed with hashes of the PC and
+// geometrically increasing slices of the global branch/path history. The
+// payload is arbitrary (an 8-bit instruction distance for the distance
+// predictor, a stride for D-VTAGE).
+type TAGE[P comparable] struct {
+	cfg    TAGEConfig
+	conf   ConfPolicy
+	base   []tagePayloadEntry[P]
+	tables [][]tagePayloadEntry[P]
+	rng    *rand.Rand
+	ticks  int
+}
+
+// NewTAGE builds a predictor from cfg. conf may be nil, in which case the
+// deterministic policy is used. rng seeds the allocation tie-breaker.
+func NewTAGE[P comparable](cfg TAGEConfig, conf ConfPolicy, rng *rand.Rand) *TAGE[P] {
+	if conf == nil {
+		conf = DetPolicy{}
+	}
+	if len(cfg.TableEntries) > MaxComponents {
+		panic("predictor: too many TAGE components")
+	}
+	t := &TAGE[P]{cfg: cfg, conf: conf, rng: rng}
+	t.base = make([]tagePayloadEntry[P], cfg.BaseEntries)
+	for _, n := range cfg.TableEntries {
+		t.tables = append(t.tables, make([]tagePayloadEntry[P], n))
+	}
+	return t
+}
+
+// MaxComponents bounds the number of tagged components a payload TAGE may
+// have; lookups embed fixed-size index/tag arrays so that carrying them with
+// inflight instructions does not allocate.
+const MaxComponents = 8
+
+// TAGELookup captures everything computed at prediction time. The pipeline
+// carries it with the inflight instruction and hands it back to Update at
+// commit, so the trained entries are exactly the ones consulted.
+type TAGELookup[P comparable] struct {
+	Payload  P     // predicted payload (provider's)
+	Conf     uint8 // provider confidence at lookup time
+	Provider int   // -1 = base table
+	Hit      bool  // a tagged component hit
+
+	altPayload P
+	altValid   bool
+	baseIdx    uint32
+	indices    [MaxComponents]uint32
+	tags       [MaxComponents]uint32
+}
+
+func mix(pc uint64, fold uint32, path uint64, comp int) uint64 {
+	h := pc ^ pc>>16 ^ uint64(fold)<<1 ^ path<<7 ^ uint64(comp)*0x9e3779b97f4a7c15
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
+
+func tagMix(pc uint64, fold uint32, comp int) uint64 {
+	h := pc*0x2545f4914f6cdd1d ^ uint64(fold)*0x100000001b3 ^ uint64(comp)<<11
+	h ^= h >> 31
+	return h
+}
+
+// Lookup computes a prediction for pc under the given history.
+func (t *TAGE[P]) Lookup(pc uint64, hist *GlobalHistory) TAGELookup[P] {
+	lk := TAGELookup[P]{Provider: -1}
+	lk.baseIdx = uint32((pc >> 2) % uint64(len(t.base)))
+	be := &t.base[lk.baseIdx]
+	lk.Payload, lk.Conf = be.payload, be.conf
+
+	for i := range t.tables {
+		idx := uint32(mix(pc, hist.Fold(i), hist.Path(), i) % uint64(len(t.tables[i])))
+		tag := uint32(tagMix(pc, hist.Fold(i), i)) & ((1 << uint(t.cfg.TagBits[i])) - 1)
+		lk.indices[i], lk.tags[i] = idx, tag
+		e := &t.tables[i][idx]
+		if e.valid && e.tag == tag {
+			lk.altPayload, lk.altValid = lk.Payload, true
+			lk.Payload, lk.Conf = e.payload, e.conf
+			lk.Provider = i
+			lk.Hit = true
+		}
+	}
+	return lk
+}
+
+// ConfAtLeast reports whether the looked-up confidence meets an
+// occurrence-space threshold under the predictor's confidence policy.
+func (t *TAGE[P]) ConfAtLeast(lk *TAGELookup[P], occ int) bool {
+	return t.conf.AtLeast(lk.Conf, occ)
+}
+
+// Update trains the predictor with the observed payload for a previous
+// Lookup. ok reports whether the looked-up payload matched the observation.
+func (t *TAGE[P]) Update(lk *TAGELookup[P], observed P) (ok bool) {
+	return t.UpdateOutcome(lk, observed, nil)
+}
+
+// UpdateOutcome is Update with an externally supplied correctness verdict
+// for the confidence counter. D-VTAGE needs this: its payload (the stride)
+// can match while the *value* prediction built from it was wrong (inflight
+// extrapolation), and confidence must gate on end-to-end correctness.
+func (t *TAGE[P]) UpdateOutcome(lk *TAGELookup[P], observed P, outcome *bool) (ok bool) {
+	var e *tagePayloadEntry[P]
+	if lk.Provider < 0 {
+		e = &t.base[lk.baseIdx]
+	} else {
+		e = &t.tables[lk.Provider][lk.indices[lk.Provider]]
+	}
+	correct := e.payload == observed
+	if outcome != nil {
+		correct = correct && *outcome
+	}
+
+	if correct {
+		e.conf = t.conf.Correct(e.conf)
+	} else if e.conf == 0 {
+		e.payload = observed
+		e.conf = 0
+	} else {
+		e.conf = t.conf.Wrong(e.conf)
+	}
+
+	// Useful-bit management (tagged providers only).
+	if lk.Provider >= 0 && lk.altValid && lk.Payload != lk.altPayload {
+		if correct {
+			e.u = 1
+		} else {
+			e.u = 0
+		}
+	}
+
+	// Allocate a longer-history entry when the prediction was wrong.
+	if !correct && lk.Provider < len(t.tables)-1 {
+		t.allocate(lk, observed)
+	}
+
+	// Graceful aging of useful bits.
+	t.ticks++
+	if t.ticks >= 256*1024 {
+		t.ticks = 0
+		for _, tbl := range t.tables {
+			for j := range tbl {
+				tbl[j].u = 0
+			}
+		}
+	}
+	return lk.Payload == observed
+}
+
+func (t *TAGE[P]) allocate(lk *TAGELookup[P], observed P) {
+	start := lk.Provider + 1
+	// Collect candidate components with a non-useful victim.
+	var candidates []int
+	for i := start; i < len(t.tables); i++ {
+		if t.tables[i][lk.indices[i]].u == 0 {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		for i := start; i < len(t.tables); i++ {
+			t.tables[i][lk.indices[i]].u = 0
+		}
+		return
+	}
+	// Prefer the shortest candidate history, with a 1-in-2 chance of
+	// skipping to the next (the classic TAGE allocation tie-breaker).
+	pick := candidates[0]
+	if len(candidates) > 1 && t.rng != nil && t.rng.Intn(2) == 0 {
+		pick = candidates[1]
+	}
+	e := &t.tables[pick][lk.indices[pick]]
+	*e = tagePayloadEntry[P]{payload: observed, tag: lk.tags[pick], valid: true}
+}
+
+// GShare is the two-table gshare-style payload predictor of Sha et al.
+// (NoSQ): a direct-mapped PC-indexed table backed by a table indexed with
+// PC xor global history. The history-indexed table provides the prediction
+// when confident, otherwise the PC table does.
+type GShare[P comparable] struct {
+	pcTab   []gshareEntry[P]
+	ghTab   []gshareEntry[P]
+	conf    ConfPolicy
+	histLen int
+}
+
+type gshareEntry[P comparable] struct {
+	payload P
+	conf    uint8
+}
+
+// NewGShare builds a gshare payload predictor with the given table sizes.
+func NewGShare[P comparable](pcEntries, ghEntries, histLen int, conf ConfPolicy) *GShare[P] {
+	if conf == nil {
+		conf = DetPolicy{}
+	}
+	return &GShare[P]{
+		pcTab:   make([]gshareEntry[P], pcEntries),
+		ghTab:   make([]gshareEntry[P], ghEntries),
+		conf:    conf,
+		histLen: histLen,
+	}
+}
+
+// GShareLookup carries prediction-time state to Update.
+type GShareLookup[P comparable] struct {
+	Payload P
+	Conf    uint8
+	FromGH  bool
+	pcIdx   uint32
+	ghIdx   uint32
+}
+
+// Lookup predicts the payload for pc under hist.
+func (g *GShare[P]) Lookup(pc uint64, hist *GlobalHistory) GShareLookup[P] {
+	var lk GShareLookup[P]
+	lk.pcIdx = uint32((pc >> 2) % uint64(len(g.pcTab)))
+	h := uint64(hist.Fold(0))
+	lk.ghIdx = uint32((pc>>2 ^ h ^ h<<5) % uint64(len(g.ghTab)))
+	pcE, ghE := &g.pcTab[lk.pcIdx], &g.ghTab[lk.ghIdx]
+	if g.conf.AtLeast(ghE.conf, 1) && ghE.conf >= pcE.conf {
+		lk.Payload, lk.Conf, lk.FromGH = ghE.payload, ghE.conf, true
+	} else {
+		lk.Payload, lk.Conf = pcE.payload, pcE.conf
+	}
+	return lk
+}
+
+// ConfAtLeast reports whether the lookup met an occurrence threshold.
+func (g *GShare[P]) ConfAtLeast(lk *GShareLookup[P], occ int) bool {
+	return g.conf.AtLeast(lk.Conf, occ)
+}
+
+// Update trains both tables with the observed payload.
+func (g *GShare[P]) Update(lk *GShareLookup[P], observed P) bool {
+	for _, e := range []*gshareEntry[P]{&g.pcTab[lk.pcIdx], &g.ghTab[lk.ghIdx]} {
+		if e.payload == observed {
+			e.conf = g.conf.Correct(e.conf)
+		} else if e.conf == 0 {
+			e.payload = observed
+		} else {
+			e.conf = g.conf.Wrong(e.conf)
+		}
+	}
+	return lk.Payload == observed
+}

@@ -1,0 +1,163 @@
+// Package regfile implements physical register management for the simulated
+// core: the physical register file (with a hardwired zero register), the
+// integer/FP free lists, the register alias table, and the Inflight Shared
+// Registers Buffer (ISRB) — the dual-counter reference-counting structure
+// RSEP uses to share physical registers (Perais & Seznec, HPCA 2016, §IV-E2
+// of the paper).
+package regfile
+
+import "fmt"
+
+// PReg names a physical register. Zero is the hardwired zero register; -1 is
+// "no register".
+type PReg int32
+
+// Physical register sentinels.
+const (
+	// ZeroPReg is hardwired to value 0: never allocated, never freed,
+	// always ready. Zero-idiom elimination and zero prediction rename
+	// destinations to it.
+	ZeroPReg PReg = 0
+	PRegNone PReg = -1
+)
+
+// NotReady is the ready-cycle sentinel for registers whose value is still
+// being produced.
+const NotReady = ^uint64(0)
+
+// File is the physical register file plus free lists. Register 0 is the
+// hardwired zero register; integer registers follow, then FP registers.
+type File struct {
+	vals    []uint64
+	readyAt []uint64
+	alloc   []bool
+
+	intFree []PReg
+	fpFree  []PReg
+	fpStart PReg
+}
+
+// NewFile builds a PRF with nInt integer and nFP floating-point registers
+// (Table I: 235/235).
+func NewFile(nInt, nFP int) *File {
+	total := 1 + nInt + nFP
+	f := &File{
+		vals:    make([]uint64, total),
+		readyAt: make([]uint64, total),
+		alloc:   make([]bool, total),
+		fpStart: PReg(1 + nInt),
+	}
+	f.alloc[0] = true // zero register
+	for i := nInt; i >= 1; i-- {
+		f.intFree = append(f.intFree, PReg(i))
+	}
+	for i := total - 1; i >= int(f.fpStart); i-- {
+		f.fpFree = append(f.fpFree, PReg(i))
+	}
+	return f
+}
+
+// Alloc pops a free register from the integer or FP pool.
+func (f *File) Alloc(fp bool) (PReg, bool) {
+	pool := &f.intFree
+	if fp {
+		pool = &f.fpFree
+	}
+	n := len(*pool)
+	if n == 0 {
+		return PRegNone, false
+	}
+	p := (*pool)[n-1]
+	*pool = (*pool)[:n-1]
+	f.alloc[p] = true
+	f.readyAt[p] = NotReady
+	return p, true
+}
+
+// Free returns p to its pool. Freeing the zero register is a no-op.
+func (f *File) Free(p PReg) {
+	if p <= ZeroPReg {
+		return
+	}
+	if !f.alloc[p] {
+		panic(fmt.Sprintf("regfile: double free of p%d", p))
+	}
+	f.alloc[p] = false
+	if p >= f.fpStart {
+		f.fpFree = append(f.fpFree, p)
+	} else {
+		f.intFree = append(f.intFree, p)
+	}
+}
+
+// FreeCount reports the number of free registers in a pool.
+func (f *File) FreeCount(fp bool) int {
+	if fp {
+		return len(f.fpFree)
+	}
+	return len(f.intFree)
+}
+
+// Allocated reports whether p is currently allocated.
+func (f *File) Allocated(p PReg) bool { return p >= 0 && f.alloc[p] }
+
+// Value returns the architectural value held in p.
+func (f *File) Value(p PReg) uint64 {
+	if p == ZeroPReg {
+		return 0
+	}
+	return f.vals[p]
+}
+
+// SetValue stores v in p. Writes to the zero register are discarded.
+func (f *File) SetValue(p PReg, v uint64) {
+	if p > ZeroPReg {
+		f.vals[p] = v
+	}
+}
+
+// ReadyAt returns the cycle at which p's value is available (0 for the zero
+// register, NotReady while in flight).
+func (f *File) ReadyAt(p PReg) uint64 {
+	if p <= ZeroPReg {
+		return 0
+	}
+	return f.readyAt[p]
+}
+
+// SetReadyAt marks p's value as available at the given cycle.
+func (f *File) SetReadyAt(p PReg, cycle uint64) {
+	if p > ZeroPReg {
+		f.readyAt[p] = cycle
+	}
+}
+
+// Size reports the total number of physical registers (including the zero
+// register).
+func (f *File) Size() int { return len(f.vals) }
+
+// RAT is the register alias table mapping architectural to physical
+// registers.
+type RAT struct {
+	m []PReg
+}
+
+// NewRAT builds a RAT for n architectural registers, with every entry
+// initially mapped by the caller.
+func NewRAT(n int) *RAT {
+	r := &RAT{m: make([]PReg, n)}
+	for i := range r.m {
+		r.m[i] = PRegNone
+	}
+	return r
+}
+
+// Get returns the current mapping of architectural register a.
+func (r *RAT) Get(a int) PReg { return r.m[a] }
+
+// Set maps architectural register a to p and returns the previous mapping.
+func (r *RAT) Set(a int, p PReg) (old PReg) {
+	old = r.m[a]
+	r.m[a] = p
+	return old
+}

@@ -1,0 +1,116 @@
+package regfile
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocFree(t *testing.T) {
+	f := NewFile(4, 2)
+	if f.Size() != 7 {
+		t.Fatalf("Size = %d, want 7", f.Size())
+	}
+	if f.FreeCount(false) != 4 || f.FreeCount(true) != 2 {
+		t.Fatal("wrong initial free counts")
+	}
+	var ints []PReg
+	for i := 0; i < 4; i++ {
+		p, ok := f.Alloc(false)
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		ints = append(ints, p)
+	}
+	if _, ok := f.Alloc(false); ok {
+		t.Fatal("alloc beyond capacity succeeded")
+	}
+	f.Free(ints[0])
+	if f.FreeCount(false) != 1 {
+		t.Fatal("free did not return register")
+	}
+	p, ok := f.Alloc(false)
+	if !ok || p != ints[0] {
+		t.Fatalf("realloc got %d, want %d", p, ints[0])
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	f := NewFile(2, 0)
+	p, _ := f.Alloc(false)
+	f.Free(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	f.Free(p)
+}
+
+func TestZeroRegister(t *testing.T) {
+	f := NewFile(2, 2)
+	if f.Value(ZeroPReg) != 0 {
+		t.Fatal("zero register must read 0")
+	}
+	f.SetValue(ZeroPReg, 99) // discarded
+	if f.Value(ZeroPReg) != 0 {
+		t.Fatal("zero register must stay 0")
+	}
+	if f.ReadyAt(ZeroPReg) != 0 {
+		t.Fatal("zero register must always be ready")
+	}
+	f.Free(ZeroPReg) // no-op, must not panic
+}
+
+func TestReadiness(t *testing.T) {
+	f := NewFile(2, 0)
+	p, _ := f.Alloc(false)
+	if f.ReadyAt(p) != NotReady {
+		t.Fatal("fresh register must not be ready")
+	}
+	f.SetReadyAt(p, 100)
+	if f.ReadyAt(p) != 100 {
+		t.Fatal("SetReadyAt lost")
+	}
+}
+
+func TestRAT(t *testing.T) {
+	r := NewRAT(4)
+	if r.Get(0) != PRegNone {
+		t.Fatal("fresh RAT entry must be unmapped")
+	}
+	old := r.Set(0, 5)
+	if old != PRegNone || r.Get(0) != 5 {
+		t.Fatal("Set/Get broken")
+	}
+	if old := r.Set(0, 9); old != 5 {
+		t.Fatalf("Set returned %d, want 5", old)
+	}
+}
+
+// Property: any interleaving of alloc and free conserves registers.
+func TestQuickConservation(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		file := NewFile(16, 8)
+		var live []PReg
+		for i := 0; i < int(steps)+10; i++ {
+			if rng.Intn(2) == 0 {
+				if p, ok := file.Alloc(rng.Intn(2) == 0); ok {
+					live = append(live, p)
+				}
+			} else if len(live) > 0 {
+				k := rng.Intn(len(live))
+				file.Free(live[k])
+				live = append(live[:k], live[k+1:]...)
+			}
+			if file.FreeCount(false)+file.FreeCount(true)+len(live) != 24 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+package rsep
+
+import "fmt"
+
+// ValidationPolicy selects how equality predictions are validated at execute
+// time (§IV-F, Figure 6).
+type ValidationPolicy uint8
+
+const (
+	// ValidateIdeal models a free validation mechanism: the predicted
+	// instruction executes once and no extra issue bandwidth is consumed.
+	ValidateIdeal ValidationPolicy = iota
+	// ValidateIssue2xSameFU issues the predicted instruction a second
+	// time on the same functional unit, locking that port for an extra
+	// cycle ("Issue 2X and lock FU" in Figure 6).
+	ValidateIssue2xSameFU
+	// ValidateIssue2xAnyFU issues the validation µ-op to any free port,
+	// preferring non-load ports, via the global bypass network ("Issue
+	// 2X" in Figure 6). This is the paper's recommended design.
+	ValidateIssue2xAnyFU
+)
+
+func (v ValidationPolicy) String() string {
+	switch v {
+	case ValidateIdeal:
+		return "ideal"
+	case ValidateIssue2xSameFU:
+		return "issue2x-same-fu"
+	case ValidateIssue2xAnyFU:
+		return "issue2x-any-fu"
+	}
+	return fmt.Sprintf("validation(%d)", uint8(v))
+}
+
+// PairerKind selects the commit-side pairing structure.
+type PairerKind uint8
+
+const (
+	// PairFIFO uses the FIFO history (§IV-B2), the paper's choice.
+	PairFIFO PairerKind = iota
+	// PairDDT uses the Data Dependency Table (§IV-B1) for the §VI-A2
+	// comparison.
+	PairDDT
+)
+
+// PredictorKind selects the distance predictor flavour.
+type PredictorKind uint8
+
+const (
+	// PredTAGE is the TAGE-like predictor (§IV-C), the paper's choice.
+	PredTAGE PredictorKind = iota
+	// PredGShare is the gshare-like predictor of Sha et al.
+	PredGShare
+)
+
+// Config gathers every RSEP knob the evaluation sweeps.
+type Config struct {
+	HashBits int // result hash width (14 in §IV-A)
+
+	Pairer      PairerKind
+	HistEntries int // FIFO history depth; 0 = unbounded (ideal)
+	DDTEntries  int // DDT size when Pairer == PairDDT
+
+	Predictor PredictorKind
+	TAGE      TAGEDistConfig // used when Predictor == PredTAGE
+
+	// Sampling: when true, only one randomly chosen committing
+	// instruction per commit group probes the pairing structure;
+	// likely candidates (confidence >= StartTrain) instead train through
+	// the validation mechanism (§IV-B3).
+	Sampling bool
+
+	Validation ValidationPolicy
+
+	ISRBEntries     int // 0 = unbounded
+	ISRBCounterBits int
+
+	// ZeroPred enables the zero predictor alongside distance prediction
+	// (RSEP configurations in Figures 4/5 include it).
+	ZeroPred        bool
+	ZeroPredEntries int
+
+	// MoveElim folds move elimination into the RSEP run (§IV-H1: RSEP
+	// implements it as a side effect of register sharing).
+	MoveElim bool
+}
+
+// Ideal returns the §VI-A1 configuration: 42.6KB predictor, unbounded FIFO
+// history (>> ROB), unbounded ISRB, free validation, no sampling.
+func Ideal() Config {
+	return Config{
+		HashBits:        14,
+		Pairer:          PairFIFO,
+		HistEntries:     0,
+		Predictor:       PredTAGE,
+		TAGE:            IdealTAGEDist(),
+		Sampling:        false,
+		Validation:      ValidateIdeal,
+		ISRBEntries:     0,
+		ISRBCounterBits: 6,
+		ZeroPred:        true,
+		ZeroPredEntries: 4096,
+		MoveElim:        true,
+	}
+}
+
+// Realistic returns the §VI-B configuration: 10.1KB predictor, 128-entry
+// FIFO history, 24-entry ISRB with 6-bit counters, sampling with
+// start_train = 63, issue-2x-any-FU validation — 10.8KB total.
+func Realistic() Config {
+	c := Ideal()
+	c.TAGE = RealisticTAGEDist()
+	c.HistEntries = 128
+	c.Sampling = true
+	c.Validation = ValidateIssue2xAnyFU
+	c.ISRBEntries = 24
+	return c
+}
+
+// StorageBits totals the storage of an RSEP implementation built from this
+// configuration, mirroring the §VI-B accounting (predictor + FIFO history +
+// distance-propagation FIFO + ISRB; the HRF is charged separately as it
+// mirrors the PRF).
+func (c *Config) StorageBits(robSize, pregBits int) int {
+	var distPred DistPredictor
+	switch c.Predictor {
+	case PredGShare:
+		distPred = NewGShareDist(4096, 4096, 16, 8, c.TAGE.UsePredThreshold, c.TAGE.StartTrainThreshold, nil)
+	default:
+		d := NewTAGEDist(c.TAGE, nil, nil)
+		distPred = d
+	}
+	bits := distPred.StorageBits()
+
+	hist := c.HistEntries
+	if hist == 0 {
+		hist = 4 * robSize
+	}
+	csnBits := 10
+	bits += hist * (c.HashBits + csnBits) // FIFO history
+	bits += robSize * 8                   // distance-propagation FIFO (224B for 224 inflight)
+	isrb := c.ISRBEntries
+	if isrb == 0 {
+		isrb = 64
+	}
+	bits += isrb * (2*c.ISRBCounterBits + pregBits)
+	if c.ZeroPred {
+		bits += c.ZeroPredEntries * 3
+	}
+	return bits
+}

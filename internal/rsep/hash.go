@@ -1,0 +1,65 @@
+// Package rsep implements the paper's contribution: Register Sharing for
+// Equality Prediction. It provides the result-hashing machinery (fold hash,
+// Hash Register File), the commit-side pairing structures (FIFO history and
+// the Data Dependency Table alternative), the TAGE- and gshare-based
+// instruction-distance predictors, the zero predictor, and the configuration
+// knobs (validation policy, sampling, structure sizes) the evaluation
+// section sweeps.
+package rsep
+
+import "rsepsim/internal/regfile"
+
+// FoldHash XOR-folds a 64-bit value into a bits-wide hash, iteratively
+// folding bits-wide chunks as §IV-A describes. bits should not be a power of
+// two, so that common values such as 0 and -1 do not collide (with n = 14:
+// Hash = val[13..0] ^ val[27..14] ^ val[41..28] ^ val[55..42] ^ val[63..56]).
+func FoldHash(v uint64, bits uint) uint32 {
+	if bits == 0 || bits >= 64 {
+		return uint32(v)
+	}
+	mask := uint64(1)<<bits - 1
+	var h uint64
+	for v != 0 {
+		h ^= v & mask
+		v >>= bits
+	}
+	return uint32(h)
+}
+
+// HRF is the Hash Register File: a register file mirroring the PRF that
+// holds the n-bit hash of each physical register's value. It is written at
+// Writeback (when the producing instruction's result is known) and read at
+// Commit (§IV-A). Management is trivial because it exactly mirrors PRF
+// allocation.
+type HRF struct {
+	hashes []uint32
+	bits   uint
+}
+
+// NewHRF builds an HRF covering npregs physical registers with bits-wide
+// hashes (the paper uses 14).
+func NewHRF(npregs int, bits uint) *HRF {
+	return &HRF{hashes: make([]uint32, npregs), bits: bits}
+}
+
+// Bits reports the hash width.
+func (h *HRF) Bits() uint { return h.bits }
+
+// Write stores the hash of value for physical register p (called at
+// writeback).
+func (h *HRF) Write(p regfile.PReg, value uint64) {
+	if p > 0 {
+		h.hashes[p] = FoldHash(value, h.bits)
+	}
+}
+
+// Read returns the stored hash for p (called at commit).
+func (h *HRF) Read(p regfile.PReg) uint32 {
+	if p <= 0 {
+		return 0 // the zero register hashes to 0
+	}
+	return h.hashes[p]
+}
+
+// StorageBits reports the HRF storage in bits.
+func (h *HRF) StorageBits() int { return len(h.hashes) * int(h.bits) }

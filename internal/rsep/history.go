@@ -1,0 +1,243 @@
+package rsep
+
+// Pairer is the commit-side structure that, given the hash of a committing
+// instruction's result, finds an older instruction that produced the same
+// hash and returns the instruction distance (IDist) between them. Two
+// implementations exist: the FIFO history (§IV-B2) and the Data Dependency
+// Table (§IV-B1, the NoSQ-style alternative the paper argues against).
+type Pairer interface {
+	// Find looks for an older instruction whose result hash equals hash.
+	// csn is the committing instruction's commit sequence number in
+	// eligible-instruction space. predicted, when non-zero, is the
+	// distance the predictor currently expects for this instruction;
+	// implementations that can see several matches privilege it
+	// (§VI-A2). Returns the distance and whether a pair was found.
+	Find(hash uint32, csn uint64, predicted uint16) (dist uint16, ok bool)
+	// Push records a committed instruction's result hash.
+	Push(hash uint32, csn uint64)
+	// StorageBits accounts the structure's storage.
+	StorageBits() int
+}
+
+// FIFOHistory keeps the hashes of the n most recently retired
+// result-producing instructions in a circular buffer. Matching a committing
+// hash against the buffer yields the IDist directly: with only
+// result-producers pushed (the paper's "explicit" variant), the distance is
+// the CSN difference; entries store their CSN (10 bits in the paper's
+// 768-byte sizing).
+//
+// A hash index accelerates the software model: Find is O(1) instead of the
+// hardware's parallel comparators. The modelled behaviour is identical —
+// the index returns the most recent older match, and the predicted distance
+// is privileged by probing that exact slot first.
+type FIFOHistory struct {
+	ring     []histEntry
+	index    map[uint32]uint64 // hash -> most recent CSN
+	size     int               // configured size (0 = "unbounded")
+	capacity int               // actual ring capacity
+	hashBits int
+	csnBits  int
+
+	minCSN, nextCSN uint64
+
+	Finds, Matches, PredictedMatches uint64
+}
+
+type histEntry struct {
+	hash  uint32
+	csn   uint64
+	valid bool
+}
+
+// NewFIFOHistory builds a history of n entries (n = 0 means unbounded — the
+// "ideal, much larger than the ROB" configuration of §VI-A1, realised as a
+// 64K ring since distances are 16-bit anyway). hashBits and csnBits are used
+// for storage accounting only.
+func NewFIFOHistory(n, hashBits, csnBits int) *FIFOHistory {
+	capacity := n
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &FIFOHistory{
+		size:     n,
+		capacity: capacity,
+		ring:     make([]histEntry, capacity),
+		hashBits: hashBits,
+		csnBits:  csnBits,
+		index:    make(map[uint32]uint64),
+	}
+}
+
+// Push implements Pairer.
+func (h *FIFOHistory) Push(hash uint32, csn uint64) {
+	h.nextCSN = csn + 1
+	h.ring[csn%uint64(h.capacity)] = histEntry{hash: hash, csn: csn, valid: true}
+	if csn+1 > uint64(h.capacity) {
+		h.minCSN = csn + 1 - uint64(h.capacity)
+	}
+	h.index[hash] = csn
+}
+
+func (h *FIFOHistory) lookupAt(csn uint64) (histEntry, bool) {
+	if csn >= h.nextCSN || csn < h.minCSN {
+		return histEntry{}, false
+	}
+	e := h.ring[csn%uint64(h.capacity)]
+	if !e.valid || e.csn != csn {
+		return histEntry{}, false
+	}
+	return e, true
+}
+
+// Find implements Pairer.
+func (h *FIFOHistory) Find(hash uint32, csn uint64, predicted uint16) (uint16, bool) {
+	h.Finds++
+	// Privilege the predicted distance: if the entry exactly predicted
+	// instructions back carries the same hash, report that distance even
+	// if a more recent chance match exists (§VI-A2).
+	if predicted > 0 && uint64(predicted) <= csn {
+		if e, ok := h.lookupAt(csn - uint64(predicted)); ok && e.hash == hash {
+			h.PredictedMatches++
+			h.Matches++
+			return predicted, true
+		}
+	}
+	last, ok := h.index[hash]
+	if !ok || last >= csn || last < h.minCSN {
+		return 0, false
+	}
+	d := csn - last
+	if d > 0xffff {
+		return 0, false
+	}
+	h.Matches++
+	return uint16(d), true
+}
+
+// StorageBits implements Pairer: per-entry hash plus CSN (the explicit
+// variant of §IV-D2a).
+func (h *FIFOHistory) StorageBits() int {
+	return h.capacity * (h.hashBits + h.csnBits)
+}
+
+// Len reports the capacity (0 = unbounded).
+func (h *FIFOHistory) Len() int { return h.size }
+
+// ImplicitHistory is the §IV-D2b alternative FIFO implementation: every
+// committed instruction is pushed (result producer or not), so the
+// instruction distance is the position offset in the buffer and entries need
+// no CSN field (448 bytes instead of 768 for 256 entries). The cost is that
+// non-producing instructions occupy entries, shrinking the effective window
+// — the §IV-D2c trade-off. Distances reported are in *all-instruction*
+// space; the caller must push non-producers with an invalid hash.
+type ImplicitHistory struct {
+	ring     []uint32 // hash per slot; invalidHash for non-producers
+	pos      uint64   // total pushes
+	hashBits int
+
+	Finds, Matches uint64
+}
+
+const invalidHash = ^uint32(0)
+
+// NewImplicitHistory builds an implicit-distance history of n entries.
+func NewImplicitHistory(n, hashBits int) *ImplicitHistory {
+	if n <= 0 {
+		n = 256
+	}
+	h := &ImplicitHistory{ring: make([]uint32, n), hashBits: hashBits}
+	for i := range h.ring {
+		h.ring[i] = invalidHash
+	}
+	return h
+}
+
+// PushProducer records a result-producing instruction's hash.
+func (h *ImplicitHistory) PushProducer(hash uint32) {
+	h.ring[h.pos%uint64(len(h.ring))] = hash
+	h.pos++
+}
+
+// PushOther records a non-producing instruction (store, branch), which
+// occupies a slot but can never match.
+func (h *ImplicitHistory) PushOther() {
+	h.ring[h.pos%uint64(len(h.ring))] = invalidHash
+	h.pos++
+}
+
+// Find returns the distance (in all instructions) to the most recent older
+// instruction with an equal hash. No CSN subtraction is needed: the distance
+// is the scan offset (§IV-D2b, "the instruction distance is respected in
+// the buffer").
+func (h *ImplicitHistory) Find(hash uint32) (uint16, bool) {
+	h.Finds++
+	if hash == invalidHash {
+		return 0, false
+	}
+	n := uint64(len(h.ring))
+	limit := h.pos
+	if limit > n {
+		limit = n
+	}
+	for d := uint64(1); d <= limit; d++ {
+		if h.ring[(h.pos-d)%n] == hash {
+			h.Matches++
+			return uint16(d), true
+		}
+	}
+	return 0, false
+}
+
+// StorageBits accounts the hash-only entries (448 bytes for 256 entries of
+// 14-bit hashes).
+func (h *ImplicitHistory) StorageBits() int { return len(h.ring) * h.hashBits }
+
+// DDT is the Data Dependency Table alternative (§IV-B1): a direct-mapped
+// table indexed by the result hash whose entries hold the CSN of the last
+// instruction that produced that hash. It forces a match with the most
+// recent producer, so chance matches create noise (§VI-A2), and being
+// indexed by value hashes it cannot be banked by PC — the paper's argument
+// for preferring the FIFO.
+type DDT struct {
+	entries []ddtEntry
+	csnBits int
+
+	Finds, Matches uint64
+}
+
+type ddtEntry struct {
+	csn   uint64
+	valid bool
+}
+
+// NewDDT builds a DDT with the given entry count. The paper's reference
+// point is an "unrealistic 16KB DDT"; 16KB at ~10 bits/entry ≈ 8K entries.
+func NewDDT(entries, csnBits int) *DDT {
+	return &DDT{entries: make([]ddtEntry, entries), csnBits: csnBits}
+}
+
+func (d *DDT) idx(hash uint32) int { return int(hash) % len(d.entries) }
+
+// Find implements Pairer. The DDT cannot privilege a predicted distance: it
+// only knows the most recent producer of the hash.
+func (d *DDT) Find(hash uint32, csn uint64, _ uint16) (uint16, bool) {
+	d.Finds++
+	e := d.entries[d.idx(hash)]
+	if !e.valid || e.csn >= csn {
+		return 0, false
+	}
+	dist := csn - e.csn
+	if dist > 0xffff {
+		return 0, false
+	}
+	d.Matches++
+	return uint16(dist), true
+}
+
+// Push implements Pairer.
+func (d *DDT) Push(hash uint32, csn uint64) {
+	d.entries[d.idx(hash)] = ddtEntry{csn: csn, valid: true}
+}
+
+// StorageBits implements Pairer.
+func (d *DDT) StorageBits() int { return len(d.entries) * d.csnBits }

@@ -1,0 +1,55 @@
+package rsep
+
+import "rsepsim/internal/predictor"
+
+// ZeroPredictor predicts that an instruction's result will be zero, allowing
+// its destination to be renamed to the hardwired zero register (§III). The
+// instruction still executes to validate; sharing the zero register needs no
+// reference counting.
+type ZeroPredictor struct {
+	conf    predictor.ConfPolicy
+	entries []uint8 // confidence; an entry learns "always zero lately"
+	usePred int
+
+	Lookups, Predicted uint64
+}
+
+// NewZeroPredictor builds a direct-mapped PC-indexed zero predictor with the
+// given number of entries and use-prediction threshold.
+func NewZeroPredictor(entries, usePred int, conf predictor.ConfPolicy) *ZeroPredictor {
+	if conf == nil {
+		conf = predictor.DetPolicy{}
+	}
+	return &ZeroPredictor{conf: conf, entries: make([]uint8, entries), usePred: usePred}
+}
+
+// ZeroLookup carries prediction state to Update.
+type ZeroLookup struct {
+	PredictZero bool
+	idx         uint32
+}
+
+// Lookup predicts whether the instruction at pc will produce zero.
+func (z *ZeroPredictor) Lookup(pc uint64) ZeroLookup {
+	z.Lookups++
+	idx := uint32((pc >> 2) % uint64(len(z.entries)))
+	lk := ZeroLookup{idx: idx}
+	if z.conf.AtLeast(z.entries[idx], z.usePred) {
+		lk.PredictZero = true
+		z.Predicted++
+	}
+	return lk
+}
+
+// Update trains the predictor with the committed outcome.
+func (z *ZeroPredictor) Update(lk *ZeroLookup, wasZero bool) {
+	e := &z.entries[lk.idx]
+	if wasZero {
+		*e = z.conf.Correct(*e)
+	} else {
+		*e = z.conf.Wrong(*e)
+	}
+}
+
+// StorageBits accounts the table's storage.
+func (z *ZeroPredictor) StorageBits() int { return len(z.entries) * z.conf.Bits() }

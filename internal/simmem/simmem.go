@@ -1,0 +1,68 @@
+// Package simmem provides the sparse, paged functional memory used by the
+// workload interpreters. It stores 64-bit words addressed by byte address
+// (8-byte aligned accesses) and materialises pages on demand, so workloads
+// can roam multi-gigabyte synthetic address spaces with bounded host memory.
+package simmem
+
+const (
+	pageShift = 12 // 4 KiB pages
+	pageBytes = 1 << pageShift
+	pageWords = pageBytes / 8
+	pageMask  = pageBytes - 1
+)
+
+type page [pageWords]uint64
+
+// Memory is a sparse 64-bit word store. The zero value is an empty memory;
+// reads of untouched locations return the memory's Fill pattern (default 0),
+// matching the zero-initialised heaps that make SPEC workloads so zero-rich
+// (Figure 1 of the paper).
+type Memory struct {
+	pages map[uint64]*page
+
+	// Fill is returned by reads of never-written words. Leaving it zero
+	// models zero-initialised memory.
+	Fill uint64
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+// Read64 returns the 64-bit word containing byte address addr.
+func (m *Memory) Read64(addr uint64) uint64 {
+	p, ok := m.pages[addr>>pageShift]
+	if !ok {
+		return m.Fill
+	}
+	return p[(addr&pageMask)>>3]
+}
+
+// Write64 stores v in the 64-bit word containing byte address addr.
+func (m *Memory) Write64(addr, v uint64) {
+	key := addr >> pageShift
+	p, ok := m.pages[key]
+	if !ok {
+		if m.pages == nil {
+			m.pages = make(map[uint64]*page)
+		}
+		p = new(page)
+		if m.Fill != 0 {
+			for i := range p {
+				p[i] = m.Fill
+			}
+		}
+		m.pages[key] = p
+	}
+	p[(addr&pageMask)>>3] = v
+}
+
+// Pages reports how many distinct pages have been materialised.
+func (m *Memory) Pages() int { return len(m.pages) }
+
+// Footprint reports the touched footprint in bytes.
+func (m *Memory) Footprint() uint64 { return uint64(len(m.pages)) * pageBytes }
+
+// Reset drops all pages, returning the memory to its initial state.
+func (m *Memory) Reset() { m.pages = make(map[uint64]*page) }

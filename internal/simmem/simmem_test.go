@@ -1,0 +1,80 @@
+package simmem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWrite(t *testing.T) {
+	m := New()
+	m.Write64(0x1000, 42)
+	if got := m.Read64(0x1000); got != 42 {
+		t.Fatalf("Read64 = %d, want 42", got)
+	}
+	if got := m.Read64(0x2000); got != 0 {
+		t.Fatalf("untouched read = %d, want 0", got)
+	}
+}
+
+func TestFillPattern(t *testing.T) {
+	m := New()
+	m.Fill = 0xdead
+	if got := m.Read64(0x5000); got != 0xdead {
+		t.Fatalf("fill read = %#x, want 0xdead", got)
+	}
+	// Writing one word materialises the page with the fill pattern.
+	m.Write64(0x5000, 1)
+	if got := m.Read64(0x5008); got != 0xdead {
+		t.Fatalf("sibling word = %#x, want fill", got)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var m Memory
+	m.Write64(0x10, 7)
+	if m.Read64(0x10) != 7 {
+		t.Fatal("zero-value Memory unusable")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	m := New()
+	m.Write64(0, 1)
+	m.Write64(4096, 1)
+	m.Write64(4100, 2) // same page
+	if m.Pages() != 2 {
+		t.Fatalf("Pages = %d, want 2", m.Pages())
+	}
+	if m.Footprint() != 2*4096 {
+		t.Fatalf("Footprint = %d", m.Footprint())
+	}
+	m.Reset()
+	if m.Pages() != 0 {
+		t.Fatal("Reset did not drop pages")
+	}
+}
+
+// Property: the last write to an address wins, across random sequences.
+func TestQuickLastWriteWins(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New()
+		model := map[uint64]uint64{}
+		for i := 0; i < int(n)+1; i++ {
+			addr := uint64(rng.Intn(1<<20)) &^ 7
+			v := rng.Uint64()
+			m.Write64(addr, v)
+			model[addr] = v
+		}
+		for a, v := range model {
+			if m.Read64(a) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

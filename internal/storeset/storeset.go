@@ -1,0 +1,101 @@
+// Package storeset implements the Store Sets memory dependence predictor of
+// Chrysos & Emer (ISCA 1998) with the Table I geometry: a 2K-entry Store Set
+// ID Table (SSIT) indexed by instruction PC and a 1K-entry Last Fetched
+// Store Table (LFST). Per Table I the tables are not rolled back on a
+// squash.
+package storeset
+
+// Table is the store-sets predictor.
+type Table struct {
+	ssit     []int32 // PC hash -> SSID (-1 invalid)
+	lfst     []lfstEntry
+	nextSSID int32
+
+	Violations, Merges uint64
+}
+
+type lfstEntry struct {
+	storeSeq uint64
+	valid    bool
+}
+
+// New builds a predictor with the given SSIT and LFST sizes (Table I: 2K/1K).
+func New(ssitEntries, lfstEntries int) *Table {
+	t := &Table{
+		ssit: make([]int32, ssitEntries),
+		lfst: make([]lfstEntry, lfstEntries),
+	}
+	for i := range t.ssit {
+		t.ssit[i] = -1
+	}
+	return t
+}
+
+func (t *Table) ssitIdx(pc uint64) int { return int((pc >> 2) % uint64(len(t.ssit))) }
+
+func (t *Table) ssid(pc uint64) int32 {
+	id := t.ssit[t.ssitIdx(pc)]
+	if id < 0 {
+		return -1
+	}
+	return id % int32(len(t.lfst))
+}
+
+// LoadDependence returns the sequence number of the inflight store the load
+// at pc must wait for, if its store set names one.
+func (t *Table) LoadDependence(pc uint64) (storeSeq uint64, ok bool) {
+	id := t.ssid(pc)
+	if id < 0 {
+		return 0, false
+	}
+	e := t.lfst[id]
+	return e.storeSeq, e.valid
+}
+
+// StoreRename records the store at pc with sequence seq as the last fetched
+// store of its set (if it belongs to one).
+func (t *Table) StoreRename(pc, seq uint64) {
+	id := t.ssid(pc)
+	if id < 0 {
+		return
+	}
+	t.lfst[id] = lfstEntry{storeSeq: seq, valid: true}
+}
+
+// StoreComplete clears the LFST entry naming seq (the store has executed and
+// no longer gates loads).
+func (t *Table) StoreComplete(pc, seq uint64) {
+	id := t.ssid(pc)
+	if id < 0 {
+		return
+	}
+	if t.lfst[id].valid && t.lfst[id].storeSeq == seq {
+		t.lfst[id].valid = false
+	}
+}
+
+// Violation assigns the violating load and store to a common store set using
+// the paper's merge rules: reuse an existing SSID if either instruction has
+// one (preferring the smaller), otherwise allocate a fresh SSID.
+func (t *Table) Violation(loadPC, storePC uint64) {
+	t.Violations++
+	li, si := t.ssitIdx(loadPC), t.ssitIdx(storePC)
+	lid, sid := t.ssit[li], t.ssit[si]
+	switch {
+	case lid < 0 && sid < 0:
+		id := t.nextSSID
+		t.nextSSID++
+		t.ssit[li], t.ssit[si] = id, id
+	case lid >= 0 && sid < 0:
+		t.ssit[si] = lid
+	case lid < 0 && sid >= 0:
+		t.ssit[li] = sid
+	default:
+		t.Merges++
+		id := lid
+		if sid < lid {
+			id = sid
+		}
+		t.ssit[li], t.ssit[si] = id, id
+	}
+}

@@ -1,0 +1,67 @@
+package storeset
+
+import "testing"
+
+func TestColdTablesPredictNothing(t *testing.T) {
+	ss := New(2048, 1024)
+	if _, ok := ss.LoadDependence(0x100); ok {
+		t.Fatal("cold SSIT predicted a dependence")
+	}
+}
+
+func TestViolationCreatesDependence(t *testing.T) {
+	ss := New(2048, 1024)
+	loadPC, storePC := uint64(0x100), uint64(0x200)
+	ss.Violation(loadPC, storePC)
+	// The next fetch of the store parks itself in the LFST...
+	ss.StoreRename(storePC, 77)
+	// ...and the load now waits for it.
+	seq, ok := ss.LoadDependence(loadPC)
+	if !ok || seq != 77 {
+		t.Fatalf("dependence = %d,%v, want 77,true", seq, ok)
+	}
+	// Once the store completes, the load is free.
+	ss.StoreComplete(storePC, 77)
+	if _, ok := ss.LoadDependence(loadPC); ok {
+		t.Fatal("completed store still gates the load")
+	}
+}
+
+func TestStoreCompleteOnlyClearsOwnEntry(t *testing.T) {
+	ss := New(2048, 1024)
+	ss.Violation(0x100, 0x200)
+	ss.StoreRename(0x200, 5)
+	ss.StoreRename(0x200, 9) // a younger instance supersedes
+	ss.StoreComplete(0x200, 5)
+	seq, ok := ss.LoadDependence(0x100)
+	if !ok || seq != 9 {
+		t.Fatalf("dependence = %d,%v, want 9,true (younger instance)", seq, ok)
+	}
+}
+
+func TestMergeRules(t *testing.T) {
+	ss := New(2048, 1024)
+	// Two independent sets...
+	ss.Violation(0x100, 0x200)
+	ss.Violation(0x300, 0x400)
+	// ...merged by a violation across them.
+	ss.Violation(0x100, 0x400)
+	if ss.Merges != 1 {
+		t.Fatalf("Merges = %d, want 1", ss.Merges)
+	}
+	// After the merge, both loads watch a store from the merged set.
+	ss.StoreRename(0x400, 11)
+	if seq, ok := ss.LoadDependence(0x100); !ok || seq != 11 {
+		t.Fatalf("merged dependence = %d,%v", seq, ok)
+	}
+}
+
+func TestExistingSetAdoptsNewcomer(t *testing.T) {
+	ss := New(2048, 1024)
+	ss.Violation(0x100, 0x200)
+	ss.Violation(0x100, 0x500) // load has a set; the store joins it
+	ss.StoreRename(0x500, 3)
+	if seq, ok := ss.LoadDependence(0x100); !ok || seq != 3 {
+		t.Fatalf("dependence = %d,%v, want 3", seq, ok)
+	}
+}

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"rsepsim/internal/uarch"
+)
+
+// Binary trace format: a magic header followed by one varint-encoded record
+// per instruction. PCs and addresses are delta-encoded against the previous
+// record to keep traces compact.
+
+const fileMagic = "RSEPTRC1"
+
+// Writer encodes instructions to an io.Writer.
+type Writer struct {
+	w      *bufio.Writer
+	lastPC uint64
+	n      uint64
+	tmp    [binary.MaxVarintLen64]byte
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+func (w *Writer) putUvarint(v uint64) error {
+	n := binary.PutUvarint(w.tmp[:], v)
+	_, err := w.w.Write(w.tmp[:n])
+	return err
+}
+
+func (w *Writer) putVarint(v int64) error {
+	n := binary.PutVarint(w.tmp[:], v)
+	_, err := w.w.Write(w.tmp[:n])
+	return err
+}
+
+// Write appends one instruction.
+func (w *Writer) Write(in *uarch.Inst) error {
+	var flags uint64
+	if in.Taken {
+		flags |= 1
+	}
+	if in.ZeroIdiom {
+		flags |= 2
+	}
+	head := uint64(in.Class) | uint64(in.BrKind)<<4 | flags<<7 | uint64(in.NSrc)<<9
+	if err := w.putUvarint(head); err != nil {
+		return err
+	}
+	if err := w.putVarint(int64(in.PC) - int64(w.lastPC)); err != nil {
+		return err
+	}
+	w.lastPC = in.PC
+	if err := w.putVarint(int64(in.Dst)); err != nil {
+		return err
+	}
+	for _, s := range in.Sources() {
+		if err := w.putVarint(int64(s)); err != nil {
+			return err
+		}
+	}
+	if in.HasDest() {
+		if err := w.putUvarint(in.Result); err != nil {
+			return err
+		}
+	}
+	if in.IsMem() {
+		if err := w.putUvarint(in.Addr); err != nil {
+			return err
+		}
+		if err := w.putUvarint(uint64(in.MemSz)); err != nil {
+			return err
+		}
+	}
+	if in.IsBranch() {
+		if err := w.putUvarint(in.Target); err != nil {
+			return err
+		}
+	}
+	w.n++
+	return nil
+}
+
+// Count reports the number of records written.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes a trace written by Writer. It implements Source.
+type Reader struct {
+	r      *bufio.Reader
+	lastPC uint64
+	err    error
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr) != fileMagic {
+		return nil, errors.New("trace: bad magic")
+	}
+	return &Reader{r: br}, nil
+}
+
+// Err returns the first decode error other than a clean EOF.
+func (r *Reader) Err() error { return r.err }
+
+// Next implements Source.
+func (r *Reader) Next() (uarch.Inst, bool) {
+	var in uarch.Inst
+	head, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			r.err = err
+		}
+		return in, false
+	}
+	in.Class = uarch.Class(head & 0xf)
+	in.BrKind = uarch.BrKind(head >> 4 & 0x7)
+	in.Taken = head>>7&1 == 1
+	in.ZeroIdiom = head>>8&1 == 1
+	in.NSrc = uint8(head >> 9 & 0x3)
+
+	fail := func(err error) (uarch.Inst, bool) {
+		r.err = err
+		return uarch.Inst{}, false
+	}
+	dpc, err := binary.ReadVarint(r.r)
+	if err != nil {
+		return fail(err)
+	}
+	in.PC = uint64(int64(r.lastPC) + dpc)
+	r.lastPC = in.PC
+	d, err := binary.ReadVarint(r.r)
+	if err != nil {
+		return fail(err)
+	}
+	in.Dst = uarch.Reg(d)
+	for i := 0; i < int(in.NSrc); i++ {
+		s, err := binary.ReadVarint(r.r)
+		if err != nil {
+			return fail(err)
+		}
+		in.Src[i] = uarch.Reg(s)
+	}
+	if in.HasDest() {
+		if in.Result, err = binary.ReadUvarint(r.r); err != nil {
+			return fail(err)
+		}
+	}
+	if in.IsMem() {
+		if in.Addr, err = binary.ReadUvarint(r.r); err != nil {
+			return fail(err)
+		}
+		sz, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return fail(err)
+		}
+		in.MemSz = uint8(sz)
+	}
+	if in.IsBranch() {
+		if in.Target, err = binary.ReadUvarint(r.r); err != nil {
+			return fail(err)
+		}
+	}
+	return in, true
+}

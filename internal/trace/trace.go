@@ -1,0 +1,103 @@
+// Package trace defines the dynamic instruction stream interface between the
+// workload generators and the timing model, the replay buffer the pipeline
+// uses to re-fetch instructions after a squash, and a compact binary trace
+// format for storing streams on disk.
+package trace
+
+import "rsepsim/internal/uarch"
+
+// Source produces a stream of dynamic instructions.
+type Source interface {
+	// Next returns the next instruction. ok is false when the stream is
+	// exhausted.
+	Next() (in uarch.Inst, ok bool)
+}
+
+// Limit caps a source at n instructions.
+func Limit(src Source, n uint64) Source { return &limited{src: src, left: n} }
+
+type limited struct {
+	src  Source
+	left uint64
+}
+
+func (l *limited) Next() (uarch.Inst, bool) {
+	if l.left == 0 {
+		return uarch.Inst{}, false
+	}
+	l.left--
+	return l.src.Next()
+}
+
+// Replay adapts a Source for speculative consumption: the pipeline fetches
+// through it, and on a squash rewinds to an earlier sequence number so the
+// same dynamic instructions stream out again. Instructions are retained
+// until released (committed), bounding the buffer at roughly the inflight
+// window.
+//
+// Replay assigns the Seq field: sequence numbers are consecutive from 0.
+type Replay struct {
+	src Source
+
+	buf  []uarch.Inst
+	head uint64 // sequence number of buf[0]
+	pos  int    // next index within buf to deliver
+
+	nextSeq uint64
+	done    bool
+}
+
+// NewReplay wraps src.
+func NewReplay(src Source) *Replay { return &Replay{src: src} }
+
+// Next returns the next instruction to fetch (possibly a replayed one).
+func (r *Replay) Next() (uarch.Inst, bool) {
+	if r.pos < len(r.buf) {
+		in := r.buf[r.pos]
+		r.pos++
+		return in, true
+	}
+	if r.done {
+		return uarch.Inst{}, false
+	}
+	in, ok := r.src.Next()
+	if !ok {
+		r.done = true
+		return uarch.Inst{}, false
+	}
+	in.Seq = r.nextSeq
+	r.nextSeq++
+	r.buf = append(r.buf, in)
+	r.pos = len(r.buf)
+	return in, true
+}
+
+// RewindTo makes seq the next instruction delivered by Next. seq must still
+// be retained (not yet released).
+func (r *Replay) RewindTo(seq uint64) {
+	if seq < r.head || seq > r.head+uint64(len(r.buf)) {
+		panic("trace: rewind outside retained window")
+	}
+	r.pos = int(seq - r.head)
+}
+
+// Release discards instructions with sequence numbers <= seq; they can no
+// longer be replayed.
+func (r *Replay) Release(seq uint64) {
+	if seq < r.head {
+		return
+	}
+	n := int(seq - r.head + 1)
+	if n > r.pos {
+		n = r.pos // never drop undelivered instructions
+	}
+	if n <= 0 {
+		return
+	}
+	r.buf = r.buf[n:]
+	r.head += uint64(n)
+	r.pos -= n
+}
+
+// Retained reports the number of buffered instructions.
+func (r *Replay) Retained() int { return len(r.buf) }

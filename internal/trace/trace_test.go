@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rsepsim/internal/uarch"
+)
+
+type sliceSource struct {
+	insts []uarch.Inst
+	i     int
+}
+
+func (s *sliceSource) Next() (uarch.Inst, bool) {
+	if s.i >= len(s.insts) {
+		return uarch.Inst{}, false
+	}
+	in := s.insts[s.i]
+	s.i++
+	return in, true
+}
+
+func randInst(rng *rand.Rand, pc uint64) uarch.Inst {
+	classes := []uarch.Class{
+		uarch.ClassIntAlu, uarch.ClassLoad, uarch.ClassStore,
+		uarch.ClassBranch, uarch.ClassFPMul, uarch.ClassMove,
+	}
+	in := uarch.Inst{PC: pc, Class: classes[rng.Intn(len(classes))]}
+	in.Dst = uarch.RegNone
+	switch in.Class {
+	case uarch.ClassBranch:
+		in.BrKind = uarch.BrCond
+		in.Taken = rng.Intn(2) == 0
+		in.Target = pc + uint64(rng.Intn(256))*4
+	case uarch.ClassStore:
+		in.Addr = rng.Uint64() % (1 << 30) &^ 7
+		in.MemSz = 8
+	case uarch.ClassLoad:
+		in.Dst = uarch.IntReg(rng.Intn(32))
+		in.Addr = rng.Uint64() % (1 << 30) &^ 7
+		in.MemSz = 8
+		in.Result = rng.Uint64()
+	default:
+		in.Dst = uarch.IntReg(rng.Intn(32))
+		in.Result = rng.Uint64()
+		in.AddSrc(uarch.IntReg(rng.Intn(32)))
+	}
+	return in
+}
+
+func TestLimit(t *testing.T) {
+	src := &sliceSource{insts: make([]uarch.Inst, 10)}
+	lim := Limit(src, 3)
+	n := 0
+	for {
+		if _, ok := lim.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("Limit yielded %d, want 3", n)
+	}
+}
+
+func TestReplaySequencing(t *testing.T) {
+	insts := make([]uarch.Inst, 20)
+	for i := range insts {
+		insts[i].PC = uint64(i) * 4
+	}
+	r := NewReplay(&sliceSource{insts: insts})
+	for i := 0; i < 10; i++ {
+		in, ok := r.Next()
+		if !ok || in.Seq != uint64(i) {
+			t.Fatalf("seq %d: got %d ok=%v", i, in.Seq, ok)
+		}
+	}
+	// Squash back to 4: the same instructions replay with the same seqs.
+	r.RewindTo(4)
+	for i := 4; i < 12; i++ {
+		in, _ := r.Next()
+		if in.Seq != uint64(i) || in.PC != uint64(i)*4 {
+			t.Fatalf("replayed seq %d: got seq=%d pc=%#x", i, in.Seq, in.PC)
+		}
+	}
+	// Release committed prefix, then rewind into the retained window.
+	r.Release(7)
+	r.RewindTo(8)
+	in, _ := r.Next()
+	if in.Seq != 8 {
+		t.Fatalf("after release, seq = %d, want 8", in.Seq)
+	}
+}
+
+func TestReplayRewindBeforeReleasePanics(t *testing.T) {
+	r := NewReplay(&sliceSource{insts: make([]uarch.Inst, 10)})
+	for i := 0; i < 5; i++ {
+		r.Next()
+	}
+	r.Release(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rewind into released window did not panic")
+		}
+	}()
+	r.RewindTo(1)
+}
+
+// Property: any sequence of next/rewind operations yields instructions whose
+// seq always matches their position in the original stream.
+func TestQuickReplayConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		insts := make([]uarch.Inst, 200)
+		for i := range insts {
+			insts[i] = randInst(rng, uint64(0x1000+i*4))
+		}
+		r := NewReplay(&sliceSource{insts: insts})
+		delivered := uint64(0)
+		for step := 0; step < 300; step++ {
+			if rng.Intn(4) == 0 && delivered > 0 {
+				back := uint64(rng.Intn(int(delivered + 1)))
+				r.RewindTo(back)
+				delivered = back
+				continue
+			}
+			in, ok := r.Next()
+			if !ok {
+				break
+			}
+			if in.Seq != delivered || in.PC != insts[delivered].PC {
+				return false
+			}
+			delivered++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the binary trace format round-trips arbitrary instruction
+// streams exactly.
+func TestQuickFileRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		insts := make([]uarch.Inst, int(n)+1)
+		pc := uint64(0x10000)
+		for i := range insts {
+			insts[i] = randInst(rng, pc)
+			pc += 4
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range insts {
+			if err := w.Write(&insts[i]); err != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range insts {
+			got, ok := r.Next()
+			if !ok {
+				return false
+			}
+			want := insts[i]
+			if got.PC != want.PC || got.Class != want.Class ||
+				got.Dst != want.Dst || got.NSrc != want.NSrc ||
+				got.Taken != want.Taken || got.ZeroIdiom != want.ZeroIdiom {
+				return false
+			}
+			if want.HasDest() && got.Result != want.Result {
+				return false
+			}
+			if want.IsMem() && (got.Addr != want.Addr || got.MemSz != want.MemSz) {
+				return false
+			}
+			if want.IsBranch() && got.Target != want.Target {
+				return false
+			}
+		}
+		_, ok := r.Next()
+		return !ok && r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

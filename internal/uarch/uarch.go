@@ -1,0 +1,180 @@
+// Package uarch defines the micro-ISA shared by the workload generators and
+// the timing model: instruction classes, architectural registers and the
+// dynamic instruction record that flows through the simulated pipeline.
+//
+// The ISA is a compact stand-in for Aarch64: fixed 4-byte instructions, 32
+// integer and 32 floating-point architectural registers, at most one
+// destination and three sources per instruction, 64-bit results. This is all
+// RSEP needs: register dataflow, instruction classes (for functional-unit and
+// latency assignment) and the produced values.
+package uarch
+
+import "fmt"
+
+// Class identifies the execution class of an instruction. The class selects
+// the functional-unit pool and latency in the pipeline model.
+type Class uint8
+
+// Instruction classes. ClassMove is a 64-bit register-to-register move and is
+// the class targeted by move elimination (§IV-H1 of the paper).
+const (
+	ClassNop Class = iota
+	ClassIntAlu
+	ClassIntMul
+	ClassIntDiv
+	ClassFPAlu
+	ClassFPMul
+	ClassFPDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassMove
+	numClasses
+)
+
+var classNames = [numClasses]string{
+	"nop", "int_alu", "int_mul", "int_div",
+	"fp_alu", "fp_mul", "fp_div",
+	"load", "store", "branch", "move",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// NumClasses is the number of distinct instruction classes.
+const NumClasses = int(numClasses)
+
+// BrKind distinguishes branch flavours for the front-end model.
+type BrKind uint8
+
+const (
+	BrNone   BrKind = iota // not a branch
+	BrCond                 // conditional direct branch
+	BrUncond               // unconditional direct branch
+	BrCall                 // direct call (pushes RAS)
+	BrReturn               // return (pops RAS)
+	BrIndirect
+)
+
+func (k BrKind) String() string {
+	switch k {
+	case BrNone:
+		return "none"
+	case BrCond:
+		return "cond"
+	case BrUncond:
+		return "uncond"
+	case BrCall:
+		return "call"
+	case BrReturn:
+		return "return"
+	case BrIndirect:
+		return "indirect"
+	}
+	return fmt.Sprintf("brkind(%d)", uint8(k))
+}
+
+// Reg names an architectural register. Integer registers are 0..31, floating
+// point registers are 32..63. RegNone marks an absent operand.
+type Reg int16
+
+// Architectural register file geometry.
+const (
+	NumIntRegs  = 32
+	NumFPRegs   = 32
+	NumArchRegs = NumIntRegs + NumFPRegs
+
+	// RegNone marks a missing destination or source operand.
+	RegNone Reg = -1
+)
+
+// IntReg returns the i'th integer architectural register.
+func IntReg(i int) Reg { return Reg(i) }
+
+// FPReg returns the i'th floating-point architectural register.
+func FPReg(i int) Reg { return Reg(NumIntRegs + i) }
+
+// IsFP reports whether r is a floating-point architectural register.
+func (r Reg) IsFP() bool { return r >= NumIntRegs && r < NumArchRegs }
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r >= 0 && r < NumArchRegs }
+
+func (r Reg) String() string {
+	switch {
+	case r == RegNone:
+		return "-"
+	case r.IsFP():
+		return fmt.Sprintf("f%d", int(r)-NumIntRegs)
+	default:
+		return fmt.Sprintf("x%d", int(r))
+	}
+}
+
+// Inst is one dynamic instruction produced by a workload's functional
+// execution and consumed by the timing model. The record carries the
+// architectural outcome (result value, effective address, branch direction)
+// so that predictors train on genuine values while the pipeline models
+// timing only.
+type Inst struct {
+	Seq    uint64 // dynamic sequence number, assigned by the trace source
+	PC     uint64
+	Class  Class
+	BrKind BrKind
+
+	Dst  Reg    // destination register or RegNone
+	Src  [3]Reg // source registers; Src[i] valid for i < NSrc
+	NSrc uint8
+
+	Result uint64 // value written to Dst (undefined if Dst == RegNone)
+	Addr   uint64 // effective address for loads and stores
+	MemSz  uint8  // access size in bytes for loads and stores
+
+	Taken  bool   // branch outcome
+	Target uint64 // branch target (next PC if Taken)
+
+	// ZeroIdiom marks instructions that Decode can non-speculatively
+	// recognise as writing zero (xor x,x,x / mov x,#0 style), enabling
+	// zero-idiom elimination.
+	ZeroIdiom bool
+}
+
+// HasDest reports whether the instruction writes an architectural register.
+func (in *Inst) HasDest() bool { return in.Dst != RegNone }
+
+// IsLoad reports whether the instruction is a load.
+func (in *Inst) IsLoad() bool { return in.Class == ClassLoad }
+
+// IsStore reports whether the instruction is a store.
+func (in *Inst) IsStore() bool { return in.Class == ClassStore }
+
+// IsBranch reports whether the instruction is a control transfer.
+func (in *Inst) IsBranch() bool { return in.Class == ClassBranch }
+
+// IsMem reports whether the instruction accesses memory.
+func (in *Inst) IsMem() bool { return in.Class == ClassLoad || in.Class == ClassStore }
+
+// EligibleForDistance reports whether the instruction may train or use the
+// distance predictor: it must produce a register result (stores and branches
+// are not eligible, §VI-B).
+func (in *Inst) EligibleForDistance() bool { return in.HasDest() }
+
+// Sources returns the valid source registers.
+func (in *Inst) Sources() []Reg { return in.Src[:in.NSrc] }
+
+// AddSrc appends a source register if it is valid and capacity remains.
+func (in *Inst) AddSrc(r Reg) {
+	if r.Valid() && in.NSrc < 3 {
+		in.Src[in.NSrc] = r
+		in.NSrc++
+	}
+}
+
+func (in *Inst) String() string {
+	return fmt.Sprintf("#%d pc=%#x %s dst=%v src=%v res=%#x",
+		in.Seq, in.PC, in.Class, in.Dst, in.Sources(), in.Result)
+}

@@ -1,0 +1,81 @@
+package uarch
+
+import "testing"
+
+func TestRegClassification(t *testing.T) {
+	tests := []struct {
+		r     Reg
+		fp    bool
+		valid bool
+		str   string
+	}{
+		{IntReg(0), false, true, "x0"},
+		{IntReg(31), false, true, "x31"},
+		{FPReg(0), true, true, "f0"},
+		{FPReg(31), true, true, "f31"},
+		{RegNone, false, false, "-"},
+		{Reg(64), false, false, "x64"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.IsFP(); got != tt.fp {
+			t.Errorf("%v.IsFP() = %v, want %v", tt.r, got, tt.fp)
+		}
+		if got := tt.r.Valid(); got != tt.valid {
+			t.Errorf("%v.Valid() = %v, want %v", tt.r, got, tt.valid)
+		}
+		if tt.valid || tt.r == RegNone {
+			if got := tt.r.String(); got != tt.str {
+				t.Errorf("String() = %q, want %q", got, tt.str)
+			}
+		}
+	}
+}
+
+func TestInstPredicates(t *testing.T) {
+	ld := Inst{Class: ClassLoad, Dst: IntReg(3)}
+	if !ld.IsLoad() || !ld.IsMem() || ld.IsStore() || ld.IsBranch() {
+		t.Error("load predicates wrong")
+	}
+	if !ld.HasDest() || !ld.EligibleForDistance() {
+		t.Error("load with dest must be eligible")
+	}
+	st := Inst{Class: ClassStore, Dst: RegNone}
+	if !st.IsStore() || !st.IsMem() || st.HasDest() || st.EligibleForDistance() {
+		t.Error("store predicates wrong")
+	}
+	br := Inst{Class: ClassBranch, BrKind: BrCond, Dst: RegNone}
+	if !br.IsBranch() || br.EligibleForDistance() {
+		t.Error("branch predicates wrong")
+	}
+}
+
+func TestAddSrc(t *testing.T) {
+	var in Inst
+	in.AddSrc(IntReg(1))
+	in.AddSrc(RegNone) // ignored
+	in.AddSrc(FPReg(2))
+	in.AddSrc(IntReg(3))
+	in.AddSrc(IntReg(4)) // beyond capacity, ignored
+	if in.NSrc != 3 {
+		t.Fatalf("NSrc = %d, want 3", in.NSrc)
+	}
+	want := []Reg{IntReg(1), FPReg(2), IntReg(3)}
+	for i, s := range in.Sources() {
+		if s != want[i] {
+			t.Errorf("src %d = %v, want %v", i, s, want[i])
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for c := ClassNop; c < Class(NumClasses); c++ {
+		if c.String() == "" {
+			t.Errorf("class %d has empty name", c)
+		}
+	}
+	for _, k := range []BrKind{BrNone, BrCond, BrUncond, BrCall, BrReturn, BrIndirect} {
+		if k.String() == "" {
+			t.Errorf("brkind %d has empty name", k)
+		}
+	}
+}

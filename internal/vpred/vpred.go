@@ -1,0 +1,181 @@
+// Package vpred implements the D-VTAGE value predictor (Perais & Seznec,
+// "BeBoP", HPCA 2015), the state-of-the-art value predictor the paper
+// compares RSEP against: a last-value table augmented with TAGE-style tagged
+// stride components indexed by PC and global branch/path history. The
+// predicted value is lastValue + stride(provider); like the distance
+// predictor, prediction is gated on very high confidence and validated at
+// commit with a full squash on a mispredict.
+package vpred
+
+import (
+	"math/rand"
+
+	"rsepsim/internal/predictor"
+)
+
+// Config sizes a D-VTAGE predictor.
+type Config struct {
+	LVTEntries    int   // last-value table (also the base stride component)
+	TaggedEntries int   // per tagged component
+	TagBits       []int // per component
+	HistLens      []int
+	StrideBits    int
+
+	UsePredThreshold int
+}
+
+// BeBoP is the paper's value-prediction reference point: a ~256KB D-VTAGE
+// (Table V of the BeBoP paper, "the parameters given in [6]"): a 16K-entry
+// last-value table (64-bit value + 16-bit stride + confidence) plus six
+// 2K-entry tagged stride components.
+func BeBoP() Config {
+	return Config{
+		LVTEntries:       16 * 1024,
+		TaggedEntries:    2 * 1024,
+		TagBits:          []int{13, 14, 15, 16, 17, 18},
+		HistLens:         []int{2, 4, 8, 16, 32, 64},
+		StrideBits:       16,
+		UsePredThreshold: 255,
+	}
+}
+
+type lvtEntry struct {
+	lastCommit uint64 // last committed result
+	inflight   int32  // used predictions currently in flight (BeBoP's block counter)
+}
+
+// DVTAGE is the predictor.
+type DVTAGE struct {
+	cfg  Config
+	lvt  []lvtEntry
+	tage *predictor.TAGE[int64]
+	conf predictor.ConfPolicy
+
+	Lookups, Used, Correct, Wrong uint64
+}
+
+// New builds a D-VTAGE. conf may be nil (deterministic counters).
+func New(cfg Config, conf predictor.ConfPolicy, rng *rand.Rand) *DVTAGE {
+	if conf == nil {
+		conf = predictor.DetPolicy{}
+	}
+	tcfg := predictor.TAGEConfig{
+		BaseEntries: cfg.LVTEntries,
+		HistLens:    cfg.HistLens,
+		TagBits:     cfg.TagBits,
+		PayloadBits: cfg.StrideBits,
+		UBits:       1,
+	}
+	for range cfg.TagBits {
+		tcfg.TableEntries = append(tcfg.TableEntries, cfg.TaggedEntries)
+	}
+	return &DVTAGE{
+		cfg:  cfg,
+		lvt:  make([]lvtEntry, cfg.LVTEntries),
+		tage: predictor.NewTAGE[int64](tcfg, conf, rng),
+		conf: conf,
+	}
+}
+
+// Lookup carries the prediction and its training state.
+type Lookup struct {
+	Value   uint64
+	UsePred bool
+
+	lvtIdx uint32
+	tage   predictor.TAGELookup[int64]
+}
+
+// HistoryWidths returns the fold widths this predictor needs from its global
+// history.
+func (d *DVTAGE) HistoryWidths() []int {
+	w := make([]int, len(d.cfg.HistLens))
+	for i := range w {
+		n, b := d.cfg.TaggedEntries, 0
+		for 1<<uint(b) < n {
+			b++
+		}
+		w[i] = b
+	}
+	return w
+}
+
+// HistoryLengths returns the geometric history lengths.
+func (d *DVTAGE) HistoryLengths() []int { return d.cfg.HistLens }
+
+// Lookup predicts the result of the instruction at pc. Inflight instances of
+// the same static instruction are handled the BeBoP way: the prediction is
+// lastCommittedValue + stride x (inflight + 1), where inflight counts every
+// fetched-but-uncommitted instance of the entry (used or not — an unused
+// older instance still advances the committed value by one stride before
+// this one retires). The counter is decremented at commit and on squash.
+func (d *DVTAGE) Lookup(pc uint64, hist *predictor.GlobalHistory) Lookup {
+	d.Lookups++
+	lk := Lookup{lvtIdx: uint32((pc >> 2) % uint64(len(d.lvt)))}
+	lk.tage = d.tage.Lookup(pc, hist)
+	e := &d.lvt[lk.lvtIdx]
+	lk.UsePred = d.tage.ConfAtLeast(&lk.tage, d.cfg.UsePredThreshold)
+	lk.Value = e.lastCommit + uint64(lk.tage.Payload)*uint64(e.inflight+1)
+	e.inflight++
+	if lk.UsePred {
+		d.Used++
+	}
+	return lk
+}
+
+// Squash releases the inflight slot of a lookup whose instruction was
+// flushed before committing.
+func (d *DVTAGE) Squash(lk *Lookup) {
+	e := &d.lvt[lk.lvtIdx]
+	if e.inflight > 0 {
+		e.inflight--
+	}
+}
+
+// Update trains the predictor at commit with the actual result and reports
+// whether a used prediction was correct. Confidence gates on end-to-end
+// value correctness (not just stride equality), so patterns whose inflight
+// extrapolation fails — alternating values under a correlated history —
+// never reach the use threshold.
+func (d *DVTAGE) Update(lk *Lookup, actual uint64) bool {
+	e := &d.lvt[lk.lvtIdx]
+	observedStride := int64(actual - e.lastCommit)
+	valueCorrect := lk.Value == actual
+	d.tage.UpdateOutcome(&lk.tage, observedStride, &valueCorrect)
+	e.lastCommit = actual
+	correct := lk.Value == actual
+	if e.inflight > 0 {
+		e.inflight--
+	}
+	if lk.UsePred {
+		if correct {
+			d.Correct++
+		} else {
+			d.Wrong++
+			// A mispredict flushes the pipeline: nothing of this
+			// entry remains in flight.
+			e.inflight = 0
+		}
+	}
+	return correct
+}
+
+// StorageBits accounts the predictor storage (64-bit last value + stride +
+// confidence in the LVT; stride + tag + confidence + useful bit per tagged
+// entry).
+func (d *DVTAGE) StorageBits() int {
+	bits := d.cfg.LVTEntries * (64 + d.cfg.StrideBits + d.conf.Bits())
+	for _, tb := range d.cfg.TagBits {
+		bits += d.cfg.TaggedEntries * (d.cfg.StrideBits + tb + d.conf.Bits() + 1)
+	}
+	return bits
+}
+
+// Accuracy returns correct/(correct+wrong) over used predictions.
+func (d *DVTAGE) Accuracy() float64 {
+	t := d.Correct + d.Wrong
+	if t == 0 {
+		return 1
+	}
+	return float64(d.Correct) / float64(t)
+}

@@ -1,0 +1,141 @@
+package vpred
+
+import (
+	"math/rand"
+	"testing"
+
+	"rsepsim/internal/predictor"
+)
+
+func newDV(t *testing.T) (*DVTAGE, *predictor.GlobalHistory) {
+	t.Helper()
+	d := New(BeBoP(), nil, rand.New(rand.NewSource(1)))
+	return d, predictor.NewGlobalHistory(d.HistoryLengths(), d.HistoryWidths())
+}
+
+func trainSerial(d *DVTAGE, hist *predictor.GlobalHistory, pc uint64, vals []uint64) {
+	for _, v := range vals {
+		lk := d.Lookup(pc, hist)
+		d.Update(&lk, v)
+	}
+}
+
+func TestLearnsConstant(t *testing.T) {
+	d, hist := newDV(t)
+	vals := make([]uint64, 300)
+	for i := range vals {
+		vals[i] = 0xabcd
+	}
+	trainSerial(d, hist, 0x100, vals)
+	lk := d.Lookup(0x100, hist)
+	if !lk.UsePred || lk.Value != 0xabcd {
+		t.Fatalf("constant: value=%#x usePred=%v", lk.Value, lk.UsePred)
+	}
+	d.Update(&lk, 0xabcd)
+}
+
+func TestLearnsStride(t *testing.T) {
+	d, hist := newDV(t)
+	vals := make([]uint64, 300)
+	for i := range vals {
+		vals[i] = uint64(1000 + 8*i)
+	}
+	trainSerial(d, hist, 0x200, vals)
+	lk := d.Lookup(0x200, hist)
+	want := uint64(1000 + 8*300)
+	if !lk.UsePred || lk.Value != want {
+		t.Fatalf("stride: value=%d usePred=%v, want %d", lk.Value, lk.UsePred, want)
+	}
+	d.Update(&lk, want)
+}
+
+func TestAlternatingNeverConfident(t *testing.T) {
+	// Period-2 values (the RSEP-only pattern): last-value + stride cannot
+	// converge, so D-VTAGE must not reach use confidence.
+	d, hist := newDV(t)
+	for i := 0; i < 2000; i++ {
+		lk := d.Lookup(0x300, hist)
+		v := uint64(5)
+		if i%2 == 1 {
+			v = 11
+		}
+		d.Update(&lk, v)
+	}
+	lk := d.Lookup(0x300, hist)
+	if lk.UsePred {
+		t.Fatal("alternating values must not be confidently predicted")
+	}
+}
+
+func TestInflightChain(t *testing.T) {
+	// Several inflight instances of a strided instruction must predict
+	// successive values (BeBoP inflight accounting).
+	d, hist := newDV(t)
+	vals := make([]uint64, 300)
+	for i := range vals {
+		vals[i] = uint64(8 * i)
+	}
+	trainSerial(d, hist, 0x400, vals)
+
+	lk1 := d.Lookup(0x400, hist)
+	lk2 := d.Lookup(0x400, hist)
+	lk3 := d.Lookup(0x400, hist)
+	if !lk1.UsePred || !lk2.UsePred || !lk3.UsePred {
+		t.Fatal("chain lookups not confident")
+	}
+	if lk2.Value != lk1.Value+8 || lk3.Value != lk2.Value+8 {
+		t.Fatalf("inflight chain: %d, %d, %d", lk1.Value, lk2.Value, lk3.Value)
+	}
+	// Commit them in order: all three must be correct.
+	for i, lk := range []*Lookup{&lk1, &lk2, &lk3} {
+		if !d.Update(lk, uint64(8*(300+i))) {
+			t.Fatalf("chained instance %d mispredicted", i)
+		}
+	}
+}
+
+func TestSquashReleasesInflight(t *testing.T) {
+	d, hist := newDV(t)
+	vals := make([]uint64, 300)
+	for i := range vals {
+		vals[i] = uint64(8 * i)
+	}
+	trainSerial(d, hist, 0x500, vals)
+
+	lk1 := d.Lookup(0x500, hist)
+	lk2 := d.Lookup(0x500, hist) // will be squashed
+	d.Squash(&lk2)
+	if !d.Update(&lk1, lk1.Value) {
+		t.Fatal("surviving instance mispredicted")
+	}
+	// After the squash, a fresh lookup predicts the next value, not two
+	// ahead.
+	lk3 := d.Lookup(0x500, hist)
+	if lk3.Value != lk1.Value+8 {
+		t.Fatalf("post-squash value = %d, want %d", lk3.Value, lk1.Value+8)
+	}
+}
+
+func TestAccuracyTracking(t *testing.T) {
+	d, hist := newDV(t)
+	vals := make([]uint64, 400)
+	for i := range vals {
+		vals[i] = 7
+	}
+	trainSerial(d, hist, 0x600, vals)
+	if d.Used == 0 {
+		t.Fatal("no predictions used")
+	}
+	if acc := d.Accuracy(); acc < 0.99 {
+		t.Fatalf("accuracy = %.3f on a constant", acc)
+	}
+}
+
+func TestStorageBudget(t *testing.T) {
+	d := New(BeBoP(), nil, rand.New(rand.NewSource(1)))
+	kb := float64(d.StorageBits()) / 8 / 1024
+	// The paper quotes "roughly 256KB" for the BeBoP D-VTAGE.
+	if kb < 180 || kb > 300 {
+		t.Fatalf("D-VTAGE storage = %.0fKB, want roughly 256KB", kb)
+	}
+}
