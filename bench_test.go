@@ -6,6 +6,7 @@ package rsepsim
 // Micro-benchmarks for the hot components follow.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -15,6 +16,7 @@ import (
 	"rsepsim/internal/pipeline"
 	"rsepsim/internal/predictor"
 	"rsepsim/internal/rsep"
+	"rsepsim/internal/runner"
 	"rsepsim/internal/vpred"
 	"rsepsim/internal/workload"
 )
@@ -31,10 +33,10 @@ func benchOpt() experiments.Options {
 	}
 }
 
-func runFigure(b *testing.B, f func(experiments.Options) (*metrics.Table, error)) {
+func runFigure(b *testing.B, f func(context.Context, experiments.Options) (*metrics.Table, error)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		if _, err := f(benchOpt()); err != nil {
+		if _, err := f(context.Background(), benchOpt()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -51,6 +53,64 @@ func BenchmarkISRBSweep(b *testing.B)    { runFigure(b, experiments.ISRBSweep) }
 func BenchmarkHashWidth(b *testing.B)    { runFigure(b, experiments.HashWidth) }
 func BenchmarkComparators(b *testing.B)  { runFigure(b, experiments.Comparators) }
 func BenchmarkGShareVsTAGE(b *testing.B) { runFigure(b, experiments.GShareVsTAGE) }
+
+// runnerJobs expands the reduced-scale protocol into one runner job per
+// (bench, config) pair — the Figure 4 configuration set.
+func runnerJobs() []runner.Job {
+	opt := benchOpt()
+	base := config.TableI()
+	cfgs := []*config.Config{
+		base,
+		base.WithZeroPred(),
+		base.WithRSEP(rsep.Ideal()),
+	}
+	var jobs []runner.Job
+	for _, bench := range opt.Benchmarks {
+		for _, cfg := range cfgs {
+			jobs = append(jobs, runner.Job{
+				Bench: bench, Config: cfg, Seed: opt.BaseSeed,
+				Warmup: opt.Warmup, Measure: opt.Measure,
+			})
+		}
+	}
+	return jobs
+}
+
+// BenchmarkRunnerCold measures a full pool run with no cache: every job is
+// simulated from scratch. Contrast with BenchmarkRunnerCached.
+func BenchmarkRunnerCold(b *testing.B) {
+	jobs := runnerJobs()
+	for i := 0; i < b.N; i++ {
+		pool := runner.New(runner.Options{Parallelism: 4})
+		if _, err := pool.Run(context.Background(), jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerCached measures the same job set against a pre-warmed
+// cache: identical (bench, config-hash, seed) jobs are never re-simulated,
+// so each iteration is pure lookup — typically thousands of times faster
+// than BenchmarkRunnerCold.
+func BenchmarkRunnerCached(b *testing.B) {
+	jobs := runnerJobs()
+	cache := runner.NewCache()
+	pool := runner.New(runner.Options{Parallelism: 4, Cache: cache})
+	if _, err := pool.Run(context.Background(), jobs); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.Run(context.Background(), jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	hits, _ := cache.Counters()
+	if hits == 0 {
+		b.Fatal("cache recorded no hits")
+	}
+}
 
 // BenchmarkPipelineBaseline measures raw simulation throughput
 // (simulated instructions per wall-clock second) on the Table I core.

@@ -2,23 +2,34 @@
 // figure of the evaluation section (and each ablation discussed in its text)
 // has a runner; see DESIGN.md for the experiment index.
 //
+// All figures share one result cache, so `-fig all` simulates each (bench,
+// config, seed) combination exactly once even when figures overlap (the
+// baseline and ideal-RSEP configurations appear in most of them). Ctrl-C
+// cancels the in-flight simulations promptly.
+//
 // Usage:
 //
 //	experiments -fig 4                  # Figure 4 (speedups)
 //	experiments -fig all                # everything
 //	experiments -fig 7 -bench mcf,hmmer -segments 4 -measure 400000
 //	experiments -fig 1 -csv             # machine-readable output
+//	experiments -fig 5 -json            # one JSON object per table
+//	experiments -fig all -v             # live per-job progress on stderr
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"rsepsim/internal/experiments"
 	"rsepsim/internal/metrics"
+	"rsepsim/internal/runner"
 )
 
 func main() {
@@ -31,29 +42,48 @@ func main() {
 		seed     = flag.Int64("seed", 0, "base random seed")
 		par      = flag.Int("par", 0, "parallel simulations (default NumCPU)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		jsonOut  = flag.Bool("json", false, "emit each table as a JSON object")
+		verbose  = flag.Bool("v", false, "report per-job progress on stderr")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cache := runner.NewCache()
 	opt := experiments.Options{
 		Segments:    *segments,
 		Warmup:      *warmup,
 		Measure:     *measure,
 		BaseSeed:    *seed,
 		Parallelism: *par,
+		Cache:       cache,
 	}
 	if *bench != "" {
 		opt.Benchmarks = strings.Split(*bench, ",")
 	}
+	if *verbose {
+		opt.Progress = func(p runner.Progress) {
+			tag := ""
+			if p.CacheHit {
+				tag = " (cached)"
+			}
+			fmt.Fprintf(os.Stderr, "\r[%d/%d] %s%s\033[K", p.Done, p.Total, p.Job.Bench, tag)
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 
-	type runner struct {
+	type figRunner struct {
 		name string
-		run  func(experiments.Options) (*metrics.Table, error)
+		run  func(context.Context, experiments.Options) (*metrics.Table, error)
 	}
 	static := map[string]func() *metrics.Table{
 		"table1":  experiments.TableIReport,
 		"storage": experiments.StorageReport,
 	}
-	runners := []runner{
+	runners := []figRunner{
 		{"1", experiments.Figure1},
 		{"4", experiments.Figure4},
 		{"5", experiments.Figure5},
@@ -67,12 +97,19 @@ func main() {
 	}
 
 	emit := func(t *metrics.Table) {
-		if *csv {
+		switch {
+		case *jsonOut:
+			if err := t.JSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		case *csv:
 			t.CSV(os.Stdout)
-		} else {
+			fmt.Println()
+		default:
 			t.Fprint(os.Stdout)
+			fmt.Println()
 		}
-		fmt.Println()
 	}
 
 	want := *fig
@@ -91,13 +128,16 @@ func main() {
 		}
 		ran = true
 		start := time.Now()
-		t, err := r.run(opt)
+		hits0, misses0 := cache.Counters()
+		t, err := r.run(ctx, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: figure %s: %v\n", r.name, err)
 			os.Exit(1)
 		}
 		emit(t)
-		fmt.Fprintf(os.Stderr, "[fig %s: %.1fs]\n", r.name, time.Since(start).Seconds())
+		hits, misses := cache.Counters()
+		fmt.Fprintf(os.Stderr, "[fig %s: %.1fs, cache %d hits / %d misses]\n",
+			r.name, time.Since(start).Seconds(), hits-hits0, misses-misses0)
 	}
 	if !ran && want != "all" {
 		fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", want)

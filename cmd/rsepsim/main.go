@@ -1,35 +1,41 @@
 // Command rsepsim runs a single benchmark under one configuration and prints
 // a detailed statistics report — the quick way to inspect one simulation.
+// The run is submitted to internal/runner, so Ctrl-C aborts it promptly.
 //
 // Usage:
 //
 //	rsepsim -bench mcf -mech rsep -insts 500000
 //	rsepsim -bench hmmer -mech rsep-realistic,vp -warmup 200000
+//	rsepsim -bench astar -json          # machine-readable stats
 //	rsepsim -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"rsepsim/internal/config"
 	"rsepsim/internal/metrics"
-	"rsepsim/internal/pipeline"
 	"rsepsim/internal/rsep"
+	"rsepsim/internal/runner"
 	"rsepsim/internal/vpred"
 	"rsepsim/internal/workload"
 )
 
 func main() {
 	var (
-		bench  = flag.String("bench", "mcf", "benchmark name")
-		mech   = flag.String("mech", "", "mechanisms: comma list of zeropred, moveelim, rsep, rsep-realistic, vp, oracle")
-		insts  = flag.Uint64("insts", 300_000, "instructions to measure")
-		warmup = flag.Uint64("warmup", 100_000, "warmup instructions")
-		seed   = flag.Int64("seed", 42, "workload seed")
-		list   = flag.Bool("list", false, "list benchmarks and exit")
+		bench   = flag.String("bench", "mcf", "benchmark name")
+		mech    = flag.String("mech", "", "mechanisms: comma list of zeropred, moveelim, rsep, rsep-realistic, vp, oracle")
+		insts   = flag.Uint64("insts", 300_000, "instructions to measure")
+		warmup  = flag.Uint64("warmup", 100_000, "warmup instructions")
+		seed    = flag.Int64("seed", 42, "workload seed")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+		jsonOut = flag.Bool("json", false, "emit the raw stats as JSON")
 	)
 	flag.Parse()
 
@@ -62,16 +68,28 @@ func main() {
 		}
 	}
 
-	prof, err := workload.ByName(*bench)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	st, err := runner.Simulate(ctx, runner.Job{
+		Bench:   *bench,
+		Config:  cfg,
+		Seed:    *seed,
+		Warmup:  *warmup,
+		Measure: *insts,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rsepsim:", err)
 		os.Exit(1)
 	}
-	core := pipeline.New(cfg, workload.New(prof, *seed))
-	core.Run(*warmup)
-	core.ResetStats()
-	core.Run(*insts)
-	report(*bench, core.Stats())
+	if *jsonOut {
+		if err := st.EncodeJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "rsepsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	report(*bench, st)
 }
 
 func report(name string, st *metrics.Stats) {

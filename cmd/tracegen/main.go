@@ -1,19 +1,27 @@
 // Command tracegen materialises a benchmark's dynamic instruction stream to
 // a binary trace file (or summarises an existing one). Traces decouple
 // workload generation from timing simulation and make runs byte-for-byte
-// reproducible across machines.
+// reproducible across machines. With -simulate the freshly written (or an
+// existing) trace is replayed through the runner on the Table I core as an
+// end-to-end smoke check.
 //
 // Usage:
 //
 //	tracegen -bench mcf -n 1000000 -o mcf.trc
+//	tracegen -bench mcf -n 1000000 -o mcf.trc -simulate
 //	tracegen -summarize mcf.trc
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"rsepsim/internal/config"
+	"rsepsim/internal/runner"
 	"rsepsim/internal/trace"
 	"rsepsim/internal/workload"
 )
@@ -25,19 +33,35 @@ func main() {
 		out       = flag.String("o", "", "output file")
 		seed      = flag.Int64("seed", 42, "workload seed")
 		summarize = flag.String("summarize", "", "summarise an existing trace file")
+		simulate  = flag.Bool("simulate", false, "replay the trace through the simulator as a smoke check")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
 	switch {
 	case *summarize != "":
 		if err := summary(*summarize); err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(1)
+			fail(err)
+		}
+		if *simulate {
+			if err := replay(ctx, *summarize); err != nil {
+				fail(err)
+			}
 		}
 	case *bench != "" && *out != "":
-		if err := generate(*bench, *out, *n, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(1)
+		if err := generate(ctx, *bench, *out, *n, *seed); err != nil {
+			fail(err)
+		}
+		if *simulate {
+			if err := replay(ctx, *out); err != nil {
+				fail(err)
+			}
 		}
 	default:
 		flag.Usage()
@@ -45,7 +69,7 @@ func main() {
 	}
 }
 
-func generate(bench, out string, n uint64, seed int64) error {
+func generate(ctx context.Context, bench, out string, n uint64, seed int64) error {
 	prof, err := workload.ByName(bench)
 	if err != nil {
 		return err
@@ -61,6 +85,9 @@ func generate(bench, out string, n uint64, seed int64) error {
 	}
 	src := trace.Limit(workload.New(prof, seed), n)
 	for {
+		if w.Count()&0xFFF == 0 && ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
 		in, ok := src.Next()
 		if !ok {
 			break
@@ -73,6 +100,30 @@ func generate(bench, out string, n uint64, seed int64) error {
 		return err
 	}
 	fmt.Printf("wrote %d instructions to %s\n", w.Count(), out)
+	return nil
+}
+
+// replay drives the trace through the simulation runner on the baseline
+// Table I core and prints the resulting IPC — a cheap end-to-end check that
+// the trace is well-formed and consumable by the pipeline.
+func replay(ctx context.Context, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	st, err := runner.SimulateSource(ctx, config.TableI(), r, 0, ^uint64(0))
+	if err != nil {
+		return err
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d instructions in %d cycles (IPC %.3f)\n", st.Committed, st.Cycles, st.IPC())
 	return nil
 }
 

@@ -4,9 +4,13 @@
 // predictor baseline, 29 SPEC CPU2006-like workload models and a harness
 // that regenerates every table and figure of the paper's evaluation.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
-// The benchmarks in bench_test.go regenerate each figure at laptop scale:
+// See README.md for a tour and quickstart, and DESIGN.md for the system
+// inventory, the experiment index (§4) and the simulation-runner
+// architecture (§5). Every entry point — the commands under cmd/, the
+// examples, and the benchmarks — submits simulations to internal/runner,
+// which provides bounded parallelism, cancellation, deterministic ordering
+// and result caching. The benchmarks in bench_test.go regenerate each
+// figure at laptop scale:
 //
 //	go test -bench=. -benchmem
 package rsepsim

@@ -1,15 +1,19 @@
 // Pointerchase: build a custom workload with the kernel DSL — a DRAM-bound
 // linked-list traversal whose node fields alternate between a few values —
 // and show how equality prediction collapses the field-load latencies while
-// value prediction cannot (the paper's mcf story, §VI-A1).
+// value prediction cannot (the paper's mcf story, §VI-A1). Custom workloads
+// are not named benchmarks, so they run through runner.SimulateSource, the
+// runner's arbitrary-source entry point.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"rsepsim/internal/config"
-	"rsepsim/internal/pipeline"
 	"rsepsim/internal/rsep"
+	"rsepsim/internal/runner"
 	"rsepsim/internal/vpred"
 	"rsepsim/internal/workload"
 )
@@ -36,11 +40,12 @@ func chaseProfile(ringBytes uint64) *workload.Profile {
 func main() {
 	const warm, measure = 80_000, 150_000
 	run := func(cfg *config.Config) float64 {
-		core := pipeline.New(cfg, workload.New(chaseProfile(8<<20), 7))
-		core.Run(warm)
-		core.ResetStats()
-		core.Run(measure)
-		return core.Stats().IPC()
+		src := workload.New(chaseProfile(8<<20), 7)
+		st, err := runner.SimulateSource(context.Background(), cfg, src, warm, measure)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st.IPC()
 	}
 
 	base := run(config.TableI())

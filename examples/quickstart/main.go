@@ -1,31 +1,35 @@
 // Quickstart: simulate one benchmark on the Table I core with and without
 // RSEP and print the speedup — the smallest end-to-end use of the library.
+// Both runs are submitted as jobs to the shared simulation runner, which
+// executes them concurrently and returns results in submission order.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"rsepsim/internal/config"
-	"rsepsim/internal/pipeline"
 	"rsepsim/internal/rsep"
-	"rsepsim/internal/workload"
+	"rsepsim/internal/runner"
 )
 
 func main() {
 	const bench = "hmmer"
 	const warm, measure = 100_000, 200_000
 
-	run := func(cfg *config.Config) float64 {
-		prof := workload.MustByName(bench)
-		core := pipeline.New(cfg, workload.New(prof, 42))
-		core.Run(warm)
-		core.ResetStats()
-		core.Run(measure)
-		return core.Stats().IPC()
+	job := func(cfg *config.Config) runner.Job {
+		return runner.Job{Bench: bench, Config: cfg, Seed: 42, Warmup: warm, Measure: measure}
 	}
-
-	base := run(config.TableI())
-	with := run(config.TableI().WithRSEP(rsep.Realistic()))
+	pool := runner.New(runner.Options{Parallelism: 2})
+	res, err := pool.Run(context.Background(), []runner.Job{
+		job(config.TableI()),
+		job(config.TableI().WithRSEP(rsep.Realistic())),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, with := res[0].Stats.IPC(), res[1].Stats.IPC()
 
 	fmt.Printf("%s on the Table I core (%d measured instructions)\n", bench, measure)
 	fmt.Printf("  baseline IPC:        %.3f\n", base)

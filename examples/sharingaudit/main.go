@@ -4,13 +4,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"rsepsim/internal/config"
-	"rsepsim/internal/pipeline"
 	"rsepsim/internal/regfile"
 	"rsepsim/internal/rsep"
-	"rsepsim/internal/workload"
+	"rsepsim/internal/runner"
 )
 
 func main() {
@@ -37,13 +38,18 @@ func main() {
 	fmt.Printf("  ideal predictor:    %6.1f KB (paper: 42.6KB)\n",
 		float64(ideal.StorageBits())/8/1024)
 
-	// 3. Live sharing on a move- and equality-rich benchmark.
-	cfg := config.TableI().WithRSEP(rsep.Realistic())
-	core := pipeline.New(cfg, workload.New(workload.MustByName("xalancbmk"), 42))
-	core.Run(80_000)
-	core.ResetStats()
-	core.Run(150_000)
-	st := core.Stats()
+	// 3. Live sharing on a move- and equality-rich benchmark, run as one
+	// runner job.
+	st, err := runner.Simulate(context.Background(), runner.Job{
+		Bench:   "xalancbmk",
+		Config:  config.TableI().WithRSEP(rsep.Realistic()),
+		Seed:    42,
+		Warmup:  80_000,
+		Measure: 150_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nxalancbmk under realistic RSEP (150K instructions):")
 	fmt.Printf("  distance-predicted: %5.1f%% of committed (%.1f%% loads)\n",
 		100*st.Frac(st.DistPred), 100*st.Frac(st.DistPredLoad))

@@ -1,0 +1,3 @@
+module rsepsim
+
+go 1.24

@@ -5,6 +5,11 @@
 package config
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
 	"rsepsim/internal/rsep"
 	"rsepsim/internal/vpred"
 )
@@ -124,6 +129,30 @@ func TableI() *Config {
 
 		Seed: 1,
 	}
+}
+
+// Canonical returns a deterministic byte serialization of the configuration.
+// Two configs serialize identically iff every field (including the RSEP and
+// VP sub-configs) is equal; field order follows the struct declaration, so
+// the encoding is stable across processes and runs. The result cache and the
+// on-disk cache planned in ROADMAP.md key on this encoding via Hash.
+func (c *Config) Canonical() []byte {
+	b, err := json.Marshal(c)
+	if err != nil {
+		// Config holds only ints, bools, floats, slices and two optional
+		// sub-config structs; marshalling cannot fail on a well-formed value.
+		panic(fmt.Sprintf("config: canonical encoding failed: %v", err))
+	}
+	return b
+}
+
+// Hash returns a stable hex digest of the canonical encoding, suitable as a
+// cache key. Configs that differ in any field (including Seed) hash
+// differently; callers that track the seed separately should normalize it
+// before hashing (see runner.Job).
+func (c *Config) Hash() string {
+	sum := sha256.Sum256(c.Canonical())
+	return hex.EncodeToString(sum[:16])
 }
 
 // Clone returns a deep copy (the RSEP and VP sub-configs are copied too).

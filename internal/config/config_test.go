@@ -77,3 +77,45 @@ func TestPresetsAreIndependentCopies(t *testing.T) {
 		t.Fatal("simple presets broken")
 	}
 }
+
+func TestCanonicalHash(t *testing.T) {
+	base := TableI()
+	if base.Hash() != TableI().Hash() {
+		t.Fatal("equal configs hash differently")
+	}
+	if base.Hash() != base.Clone().Hash() {
+		t.Fatal("clone hashes differently")
+	}
+	distinct := map[string]*Config{
+		"base":      base,
+		"zeropred":  base.WithZeroPred(),
+		"moveelim":  base.WithMoveElim(),
+		"rsep":      base.WithRSEP(rsep.Ideal()),
+		"rsep-real": base.WithRSEP(rsep.Realistic()),
+		"vp":        base.WithVP(vpred.BeBoP()),
+		"oracle":    base.WithOracle(),
+	}
+	seen := map[string]string{}
+	for name, c := range distinct {
+		h := c.Hash()
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("%s and %s share hash %s", name, prev, h)
+		}
+		seen[h] = name
+	}
+	// A deep field change must be visible.
+	tweaked := base.WithRSEP(rsep.Ideal())
+	tweaked.RSEP.HistEntries = 32
+	if tweaked.Hash() == base.WithRSEP(rsep.Ideal()).Hash() {
+		t.Fatal("sub-config field change did not affect the hash")
+	}
+	// Seed participates: runner.Key normalizes it explicitly.
+	reseeded := base.Clone()
+	reseeded.Seed = 12345
+	if reseeded.Hash() == base.Hash() {
+		t.Fatal("seed change did not affect the hash")
+	}
+	if len(base.Canonical()) == 0 {
+		t.Fatal("empty canonical encoding")
+	}
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"rsepsim/internal/config"
@@ -14,7 +16,7 @@ import (
 // xalancbmk, that 32 captures most of the potential, and that the FIFO beats
 // even an unrealistic 16KB DDT because it can privilege the predicted
 // distance over chance matches.
-func HistoryDepth(opt Options) (*metrics.Table, error) {
+func HistoryDepth(ctx context.Context, opt Options) (*metrics.Table, error) {
 	opt = opt.Defaults()
 	base := config.TableI()
 	depths := []int{32, 64, 128, 256, 0}
@@ -36,7 +38,7 @@ func HistoryDepth(opt Options) (*metrics.Table, error) {
 	cfgs = append(cfgs, base.WithRSEP(ddt))
 	names = append(names, "DDT(16KB)")
 
-	res, err := Sweep(cfgs, opt)
+	res, err := SweepContext(ctx, cfgs, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -57,7 +59,7 @@ func HistoryDepth(opt Options) (*metrics.Table, error) {
 
 // ISRBSweep reproduces §VI-A3: RSEP speedup as a function of the ISRB size;
 // the paper finds 24 entries of two 6-bit counters are not detrimental.
-func ISRBSweep(opt Options) (*metrics.Table, error) {
+func ISRBSweep(ctx context.Context, opt Options) (*metrics.Table, error) {
 	opt = opt.Defaults()
 	base := config.TableI()
 	sizes := []int{4, 8, 16, 24, 48, 0}
@@ -73,7 +75,7 @@ func ISRBSweep(opt Options) (*metrics.Table, error) {
 			names = append(names, fmt.Sprintf("ISRB(%d)", n))
 		}
 	}
-	res, err := Sweep(cfgs, opt)
+	res, err := SweepContext(ctx, cfgs, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +97,7 @@ func ISRBSweep(opt Options) (*metrics.Table, error) {
 // HashWidth reproduces the §IV-A trade-off: speedup and mispredict count as
 // a function of the result-hash width (narrow hashes create false-positive
 // pairs that train the predictor on accidental equality).
-func HashWidth(opt Options) (*metrics.Table, error) {
+func HashWidth(ctx context.Context, opt Options) (*metrics.Table, error) {
 	opt = opt.Defaults()
 	base := config.TableI()
 	widths := []int{8, 10, 12, 14, 16}
@@ -105,7 +107,7 @@ func HashWidth(opt Options) (*metrics.Table, error) {
 		rc.HashBits = w
 		cfgs = append(cfgs, base.WithRSEP(rc))
 	}
-	res, err := Sweep(cfgs, opt)
+	res, err := SweepContext(ctx, cfgs, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -132,9 +134,9 @@ func HashWidth(opt Options) (*metrics.Table, error) {
 // FIFO-history comparators a commit group needs. The paper reports 6
 // comparators suffice in >95% of groups and 4 in >70%, with lbm and gamess
 // as the outliers that frequently retire 8 eligible instructions.
-func Comparators(opt Options) (*metrics.Table, error) {
+func Comparators(ctx context.Context, opt Options) (*metrics.Table, error) {
 	opt = opt.Defaults()
-	res, err := Sweep([]*config.Config{config.TableI()}, opt)
+	res, err := SweepContext(ctx, []*config.Config{config.TableI()}, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -168,14 +170,14 @@ func Comparators(opt Options) (*metrics.Table, error) {
 // GShareVsTAGE compares the TAGE distance predictor against the gshare-style
 // predictor of Sha et al. (§IV-C: "a TAGE-like structure ... outperformed a
 // gshare-like predictor").
-func GShareVsTAGE(opt Options) (*metrics.Table, error) {
+func GShareVsTAGE(ctx context.Context, opt Options) (*metrics.Table, error) {
 	opt = opt.Defaults()
 	base := config.TableI()
 	tage := rsep.Ideal()
 	gsh := rsep.Ideal()
 	gsh.Predictor = rsep.PredGShare
 	cfgs := []*config.Config{base, base.WithRSEP(tage), base.WithRSEP(gsh)}
-	res, err := Sweep(cfgs, opt)
+	res, err := SweepContext(ctx, cfgs, opt)
 	if err != nil {
 		return nil, err
 	}

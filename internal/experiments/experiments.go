@@ -2,18 +2,25 @@
 // evaluation section (see DESIGN.md §4 for the experiment index). Each
 // runner simulates the benchmark suite under the relevant configurations and
 // renders a metrics.Table whose rows mirror the figure's series.
+//
+// All simulation goes through internal/runner: a figure expands to a list of
+// (benchmark, configuration, segment) jobs, and the shared pool handles
+// parallelism, cancellation, deduplication and result caching. Passing the
+// same Options.Cache to several figure runners lets them reuse each other's
+// simulations — Figures 4, 5 and 6 share baseline and ideal-RSEP
+// configurations that would otherwise be re-simulated from scratch.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sort"
-	"sync"
 
 	"rsepsim/internal/config"
 	"rsepsim/internal/metrics"
-	"rsepsim/internal/pipeline"
+	"rsepsim/internal/runner"
 	"rsepsim/internal/workload"
 )
 
@@ -27,6 +34,13 @@ type Options struct {
 	Measure     uint64   // measured instructions per segment
 	BaseSeed    int64
 	Parallelism int // concurrent simulations (default: NumCPU)
+
+	// Cache, when non-nil, is consulted for every job and filled with every
+	// simulated result. Share one across figure runners to skip
+	// configurations they have in common.
+	Cache *runner.Cache
+	// Progress, when non-nil, observes every job completion.
+	Progress func(runner.Progress)
 }
 
 // Defaults fills unset fields.
@@ -52,6 +66,15 @@ func (o Options) Defaults() Options {
 	return o
 }
 
+// pool builds the runner pool for these options.
+func (o Options) pool() *runner.Pool {
+	return runner.New(runner.Options{
+		Parallelism: o.Parallelism,
+		Cache:       o.Cache,
+		OnProgress:  o.Progress,
+	})
+}
+
 // Result is the aggregate of one benchmark under one configuration.
 type Result struct {
 	Bench string
@@ -59,112 +82,67 @@ type Result struct {
 	Stats metrics.Stats
 }
 
-// runOne simulates one segment and returns its stats.
-func runOne(bench string, cfg *config.Config, seed int64, warm, measure uint64) (*metrics.Stats, error) {
-	prof, err := workload.ByName(bench)
-	if err != nil {
-		return nil, err
-	}
-	cfg = cfg.Clone()
-	cfg.Seed = seed
-	core := pipeline.New(cfg, workload.New(prof, seed))
-	core.Run(warm)
-	core.ResetStats()
-	core.Run(measure)
-	return core.Stats(), nil
-}
-
 // Run simulates bench under cfg across the configured segments.
 func Run(bench string, cfg *config.Config, opt Options) (Result, error) {
-	ipcs := make([]float64, 0, opt.Segments)
-	var agg metrics.Stats
-	for s := 0; s < opt.Segments; s++ {
-		st, err := runOne(bench, cfg, opt.BaseSeed+int64(s), opt.Warmup, opt.Measure)
-		if err != nil {
-			return Result{}, err
-		}
-		ipcs = append(ipcs, st.IPC())
-		addStats(&agg, st)
-	}
-	return Result{Bench: bench, IPC: metrics.HarmonicMean(ipcs), Stats: agg}, nil
+	return RunContext(context.Background(), bench, cfg, opt)
 }
 
-func addStats(dst, src *metrics.Stats) {
-	dst.Cycles += src.Cycles
-	dst.Committed += src.Committed
-	dst.CommittedLoads += src.CommittedLoads
-	dst.CommittedStores += src.CommittedStores
-	dst.CommittedBranches += src.CommittedBranches
-	dst.Eligible += src.Eligible
-	dst.ZeroIdiomElim += src.ZeroIdiomElim
-	dst.MoveElim += src.MoveElim
-	dst.ZeroPred += src.ZeroPred
-	dst.ZeroPredLoad += src.ZeroPredLoad
-	dst.DistPred += src.DistPred
-	dst.DistPredLoad += src.DistPredLoad
-	dst.ValuePred += src.ValuePred
-	dst.ValuePredLoad += src.ValuePredLoad
-	dst.DistMispredicts += src.DistMispredicts
-	dst.ZeroMispredicts += src.ZeroMispredicts
-	dst.ValueMispredicts += src.ValueMispredicts
-	dst.BranchMispredicts += src.BranchMispredicts
-	dst.MemOrderSquashes += src.MemOrderSquashes
-	dst.Squashes += src.Squashes
-	dst.ValidationUops += src.ValidationUops
-	dst.OracleZeroLoad += src.OracleZeroLoad
-	dst.OracleZeroOther += src.OracleZeroOther
-	dst.OraclePRFLoad += src.OraclePRFLoad
-	dst.OraclePRFOther += src.OraclePRFOther
-	for i := range dst.CommitEligibleHist {
-		dst.CommitEligibleHist[i] += src.CommitEligibleHist[i]
+// RunContext is Run with cancellation.
+func RunContext(ctx context.Context, bench string, cfg *config.Config, opt Options) (Result, error) {
+	opt.Benchmarks = []string{bench}
+	res, err := SweepContext(ctx, []*config.Config{cfg}, opt)
+	if err != nil {
+		return Result{}, err
 	}
-	dst.L1DAccesses += src.L1DAccesses
-	dst.L1DMisses += src.L1DMisses
-	dst.L2Misses += src.L2Misses
-	dst.L3Misses += src.L3Misses
-	dst.DRAMReads += src.DRAMReads
+	return res[0][0], nil
 }
 
 // Sweep runs every benchmark under every configuration concurrently and
-// returns results[benchIndex][configIndex].
+// returns results[benchIndex][configIndex]. Results are deterministic for a
+// given BaseSeed at any Parallelism.
 func Sweep(cfgs []*config.Config, opt Options) ([][]Result, error) {
+	return SweepContext(context.Background(), cfgs, opt)
+}
+
+// SweepContext is Sweep with cancellation: a cancelled context aborts the
+// in-flight simulations promptly and returns a runner.PartialError.
+func SweepContext(ctx context.Context, cfgs []*config.Config, opt Options) ([][]Result, error) {
 	opt = opt.Defaults()
-	results := make([][]Result, len(opt.Benchmarks))
-	for i := range results {
-		results[i] = make([]Result, len(cfgs))
-	}
-	type job struct{ bi, ci int }
-	jobs := make(chan job)
-	errs := make(chan error, 1)
-	var wg sync.WaitGroup
-	for w := 0; w < opt.Parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				r, err := Run(opt.Benchmarks[j.bi], cfgs[j.ci], opt)
-				if err != nil {
-					select {
-					case errs <- err:
-					default:
-					}
-					continue
-				}
-				results[j.bi][j.ci] = r
+
+	jobs := make([]runner.Job, 0, len(opt.Benchmarks)*len(cfgs)*opt.Segments)
+	for _, bench := range opt.Benchmarks {
+		for _, cfg := range cfgs {
+			for s := 0; s < opt.Segments; s++ {
+				jobs = append(jobs, runner.Job{
+					Bench:   bench,
+					Config:  cfg,
+					Seed:    opt.BaseSeed + int64(s),
+					Warmup:  opt.Warmup,
+					Measure: opt.Measure,
+				})
 			}
-		}()
-	}
-	for bi := range opt.Benchmarks {
-		for ci := range cfgs {
-			jobs <- job{bi, ci}
 		}
 	}
-	close(jobs)
-	wg.Wait()
-	select {
-	case err := <-errs:
+	res, err := opt.pool().Run(ctx, jobs)
+	if err != nil {
 		return nil, err
-	default:
+	}
+
+	results := make([][]Result, len(opt.Benchmarks))
+	idx := 0
+	for bi, bench := range opt.Benchmarks {
+		results[bi] = make([]Result, len(cfgs))
+		for ci := range cfgs {
+			ipcs := make([]float64, 0, opt.Segments)
+			var agg metrics.Stats
+			for s := 0; s < opt.Segments; s++ {
+				st := res[idx].Stats
+				idx++
+				ipcs = append(ipcs, st.IPC())
+				agg.Merge(st)
+			}
+			results[bi][ci] = Result{Bench: bench, IPC: metrics.HarmonicMean(ipcs), Stats: agg}
+		}
 	}
 	return results, nil
 }

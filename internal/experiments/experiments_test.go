@@ -1,11 +1,17 @@
 package experiments
 
 import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
 	"rsepsim/internal/config"
 	"rsepsim/internal/metrics"
+	"rsepsim/internal/runner"
 )
 
 // tiny returns options small enough for unit testing.
@@ -64,7 +70,7 @@ func TestSweepParallelism(t *testing.T) {
 }
 
 func TestFigure1(t *testing.T) {
-	tbl, err := Figure1(tiny("zeusmp"))
+	tbl, err := Figure1(t.Context(), tiny("zeusmp"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +83,7 @@ func TestFigure1(t *testing.T) {
 }
 
 func TestFigure4(t *testing.T) {
-	tbl, err := Figure4(tiny("hmmer"))
+	tbl, err := Figure4(t.Context(), tiny("hmmer"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +94,7 @@ func TestFigure4(t *testing.T) {
 }
 
 func TestFigure5(t *testing.T) {
-	tbl, err := Figure5(tiny("libquantum"))
+	tbl, err := Figure5(t.Context(), tiny("libquantum"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +102,7 @@ func TestFigure5(t *testing.T) {
 }
 
 func TestFigure6(t *testing.T) {
-	tbl, err := Figure6(tiny("mcf"))
+	tbl, err := Figure6(t.Context(), tiny("mcf"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +113,7 @@ func TestFigure6(t *testing.T) {
 }
 
 func TestFigure7(t *testing.T) {
-	tbl, err := Figure7(tiny("hmmer"))
+	tbl, err := Figure7(t.Context(), tiny("hmmer"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,14 +121,14 @@ func TestFigure7(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
-	for name, run := range map[string]func(Options) (*metrics.Table, error){
+	for name, run := range map[string]func(context.Context, Options) (*metrics.Table, error){
 		"hist":        HistoryDepth,
 		"isrb":        ISRBSweep,
 		"hash":        HashWidth,
 		"comparators": Comparators,
 		"gshare":      GShareVsTAGE,
 	} {
-		tbl, err := run(tiny("libquantum"))
+		tbl, err := run(t.Context(), tiny("libquantum"))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -140,6 +146,73 @@ func TestStaticReports(t *testing.T) {
 	}
 	if !strings.Contains(storage.Rows[1][1], "10.") {
 		t.Fatalf("realistic predictor storage %q, want ~10.1KB", storage.Rows[1][1])
+	}
+}
+
+// TestSweepDeterministicAcrossParallelism: the same BaseSeed must yield
+// byte-identical sweep results whatever the worker count.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	cfgs := []*config.Config{config.TableI(), config.TableI().WithZeroPred()}
+	var golden []byte
+	for _, par := range []int{1, 4, runtime.NumCPU()} {
+		opt := tiny("mcf", "hmmer")
+		opt.Segments = 2
+		opt.Parallelism = par
+		res, err := Sweep(cfgs, opt)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		var buf bytes.Buffer
+		for _, row := range res {
+			for _, r := range row {
+				fmt.Fprintf(&buf, "%s %v ", r.Bench, r.IPC)
+				if err := r.Stats.EncodeJSON(&buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if golden == nil {
+			golden = buf.Bytes()
+		} else if !bytes.Equal(golden, buf.Bytes()) {
+			t.Fatalf("par=%d produced different results than par=1", par)
+		}
+	}
+}
+
+// TestSweepCancellation: a cancelled context surfaces a partial-result error
+// without hanging.
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(t.Context())
+	cancel()
+	opt := tiny("mcf")
+	opt.Parallelism = 2
+	_, err := SweepContext(ctx, []*config.Config{config.TableI()}, opt)
+	var pe *runner.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *runner.PartialError", err)
+	}
+}
+
+// TestSweepSharedCache: a cache shared across sweeps eliminates repeated
+// simulations of the configurations they have in common.
+func TestSweepSharedCache(t *testing.T) {
+	opt := tiny("gamess")
+	opt.Cache = runner.NewCache()
+	base := config.TableI()
+	if _, err := Sweep([]*config.Config{base}, opt); err != nil {
+		t.Fatal(err)
+	}
+	_, misses0 := opt.Cache.Counters()
+	// Second sweep includes the baseline again plus one new config.
+	if _, err := Sweep([]*config.Config{base, base.WithMoveElim()}, opt); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := opt.Cache.Counters()
+	if hits == 0 {
+		t.Fatal("shared cache recorded no hits on overlapping configs")
+	}
+	if misses != misses0+uint64(opt.Segments) {
+		t.Fatalf("misses = %d, want %d (only the new config simulates)", misses, misses0+uint64(opt.Segments))
 	}
 }
 

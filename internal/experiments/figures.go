@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"rsepsim/internal/config"
@@ -13,9 +15,9 @@ import (
 // instructions whose result is 0 or already live in the physical register
 // file, split into loads and other register producers, measured with a
 // commit-time oracle on the baseline core.
-func Figure1(opt Options) (*metrics.Table, error) {
+func Figure1(ctx context.Context, opt Options) (*metrics.Table, error) {
 	opt = opt.Defaults()
-	res, err := Sweep([]*config.Config{config.TableI().WithOracle()}, opt)
+	res, err := SweepContext(ctx, []*config.Config{config.TableI().WithOracle()}, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -51,10 +53,10 @@ func figure4Configs() ([]*config.Config, []string) {
 // Figure4 reproduces Figure 4: speedup over the baseline for zero
 // prediction, move elimination, RSEP, value prediction, and the combination
 // (ideal validation mechanism, FIFO history much larger than the ROB).
-func Figure4(opt Options) (*metrics.Table, error) {
+func Figure4(ctx context.Context, opt Options) (*metrics.Table, error) {
 	opt = opt.Defaults()
 	cfgs, names := figure4Configs()
-	res, err := Sweep(cfgs, opt)
+	res, err := SweepContext(ctx, cfgs, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -83,14 +85,14 @@ func Figure4(opt Options) (*metrics.Table, error) {
 // Figure5 reproduces Figure 5: the percentage of committed instructions
 // covered by each mechanism — first under RSEP alone, then with value
 // prediction on top of RSEP.
-func Figure5(opt Options) (*metrics.Table, error) {
+func Figure5(ctx context.Context, opt Options) (*metrics.Table, error) {
 	opt = opt.Defaults()
 	base := config.TableI()
 	cfgs := []*config.Config{
 		base.WithRSEP(rsep.Ideal()),
 		base.WithRSEP(rsep.Ideal()).WithVP(vpred.BeBoP()),
 	}
-	res, err := Sweep(cfgs, opt)
+	res, err := SweepContext(ctx, cfgs, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +123,7 @@ func Figure5(opt Options) (*metrics.Table, error) {
 // commit sampling on RSEP's speedup — ideal validation, issue-twice locking
 // the producing FU, issue-twice on any FU, and issue-twice with sampling at
 // start_train thresholds 15 and 63.
-func Figure6(opt Options) (*metrics.Table, error) {
+func Figure6(ctx context.Context, opt Options) (*metrics.Table, error) {
 	opt = opt.Defaults()
 	base := config.TableI()
 
@@ -150,7 +152,7 @@ func Figure6(opt Options) (*metrics.Table, error) {
 		base.WithRSEP(samp63),
 	}
 	names := []string{"IdealValidation", "Issue2xLockFU", "Issue2x", "Issue2x+Samp15", "Issue2x+Samp63"}
-	res, err := Sweep(cfgs, opt)
+	res, err := SweepContext(ctx, cfgs, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -174,12 +176,12 @@ func Figure6(opt Options) (*metrics.Table, error) {
 // 24-entry ISRB, sampling threshold 63, issue-twice validation), and prints
 // the §VI-B summary: accuracy, coverage of eligible instructions and the
 // storage budget.
-func Figure7(opt Options) (*metrics.Table, error) {
+func Figure7(ctx context.Context, opt Options) (*metrics.Table, error) {
 	opt = opt.Defaults()
 	base := config.TableI()
 	idealCfg, realCfg := rsep.Ideal(), rsep.Realistic()
 	cfgs := []*config.Config{base, base.WithRSEP(idealCfg), base.WithRSEP(realCfg)}
-	res, err := Sweep(cfgs, opt)
+	res, err := SweepContext(ctx, cfgs, opt)
 	if err != nil {
 		return nil, err
 	}

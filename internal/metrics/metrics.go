@@ -3,6 +3,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -55,6 +56,71 @@ type Stats struct {
 	L2Misses, L3Misses     uint64
 	DRAMReads              uint64
 	AvgDRAMLatency         float64
+}
+
+// Merge accumulates src into s. Counters add; AvgDRAMLatency becomes the
+// read-weighted average of the two, so merging per-segment snapshots yields
+// the same aggregate a single longer run would report.
+func (s *Stats) Merge(src *Stats) {
+	oldReads := s.DRAMReads
+
+	s.Cycles += src.Cycles
+	s.Committed += src.Committed
+	s.CommittedLoads += src.CommittedLoads
+	s.CommittedStores += src.CommittedStores
+	s.CommittedBranches += src.CommittedBranches
+	s.Eligible += src.Eligible
+	s.ZeroIdiomElim += src.ZeroIdiomElim
+	s.MoveElim += src.MoveElim
+	s.ZeroPred += src.ZeroPred
+	s.ZeroPredLoad += src.ZeroPredLoad
+	s.DistPred += src.DistPred
+	s.DistPredLoad += src.DistPredLoad
+	s.ValuePred += src.ValuePred
+	s.ValuePredLoad += src.ValuePredLoad
+	s.DistMispredicts += src.DistMispredicts
+	s.ZeroMispredicts += src.ZeroMispredicts
+	s.ValueMispredicts += src.ValueMispredicts
+	s.BranchMispredicts += src.BranchMispredicts
+	s.MemOrderSquashes += src.MemOrderSquashes
+	s.Squashes += src.Squashes
+	s.ValidationUops += src.ValidationUops
+	s.OracleZeroLoad += src.OracleZeroLoad
+	s.OracleZeroOther += src.OracleZeroOther
+	s.OraclePRFLoad += src.OraclePRFLoad
+	s.OraclePRFOther += src.OraclePRFOther
+	for i := range s.CommitEligibleHist {
+		s.CommitEligibleHist[i] += src.CommitEligibleHist[i]
+	}
+	s.L1DAccesses += src.L1DAccesses
+	s.L1DMisses += src.L1DMisses
+	s.L2Misses += src.L2Misses
+	s.L3Misses += src.L3Misses
+	s.DRAMReads += src.DRAMReads
+	if s.DRAMReads > 0 {
+		s.AvgDRAMLatency = (s.AvgDRAMLatency*float64(oldReads) +
+			src.AvgDRAMLatency*float64(src.DRAMReads)) / float64(s.DRAMReads)
+	}
+}
+
+// Snapshot returns an independent copy of s. Stats holds no reference types,
+// so a shallow copy is a full one; the method exists so cache layers can
+// hand out entries without aliasing their backing store.
+func (s *Stats) Snapshot() Stats { return *s }
+
+// EncodeJSON writes s as a single JSON object — the machine-readable form
+// used for cache entries and the -json output of the command-line tools.
+func (s *Stats) EncodeJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(s)
+}
+
+// DecodeStatsJSON reads one JSON-encoded Stats, the inverse of EncodeJSON.
+func DecodeStatsJSON(r io.Reader) (*Stats, error) {
+	var s Stats
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
 }
 
 // IPC returns committed instructions per cycle.
@@ -175,6 +241,15 @@ func (t *Table) CSV(w io.Writer) {
 	for _, r := range t.Rows {
 		row(r)
 	}
+}
+
+// JSON renders the table as a JSON object {title, header, rows}.
+func (t *Table) JSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{t.Title, t.Header, t.Rows})
 }
 
 // Pct formats x as a percentage with one decimal.

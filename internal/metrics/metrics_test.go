@@ -101,3 +101,61 @@ func TestFormatters(t *testing.T) {
 		t.Fatalf("F3 = %q", F3(1.23456))
 	}
 }
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{Cycles: 100, Committed: 200, DistPred: 3, DRAMReads: 10, AvgDRAMLatency: 100}
+	a.CommitEligibleHist[2] = 5
+	b := Stats{Cycles: 50, Committed: 100, DistPred: 1, DRAMReads: 30, AvgDRAMLatency: 200}
+	b.CommitEligibleHist[2] = 7
+	a.Merge(&b)
+	if a.Cycles != 150 || a.Committed != 300 || a.DistPred != 4 {
+		t.Fatalf("counters wrong after merge: %+v", a)
+	}
+	if a.CommitEligibleHist[2] != 12 {
+		t.Fatalf("histogram not merged: %v", a.CommitEligibleHist)
+	}
+	// Weighted average: (100*10 + 200*30) / 40 = 175.
+	if a.AvgDRAMLatency != 175 {
+		t.Fatalf("AvgDRAMLatency = %v, want 175", a.AvgDRAMLatency)
+	}
+}
+
+func TestStatsSnapshotIndependent(t *testing.T) {
+	a := Stats{Cycles: 1}
+	a.CommitEligibleHist[0] = 2
+	s := a.Snapshot()
+	s.Cycles = 99
+	s.CommitEligibleHist[0] = 99
+	if a.Cycles != 1 || a.CommitEligibleHist[0] != 2 {
+		t.Fatal("snapshot aliases the original")
+	}
+}
+
+func TestStatsJSONRoundTrip(t *testing.T) {
+	a := Stats{Cycles: 42, Committed: 84, ZeroPred: 7, AvgDRAMLatency: 123.5}
+	a.CommitEligibleHist[8] = 3
+	var buf bytes.Buffer
+	if err := a.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeStatsJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != a {
+		t.Fatalf("round trip changed stats: %+v != %+v", *got, a)
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tbl := &Table{Title: "T", Header: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tbl.JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"title":"T","header":["a","b"],"rows":[["1","2"]]}` + "\n"
+	if buf.String() != want {
+		t.Fatalf("JSON = %q, want %q", buf.String(), want)
+	}
+}

@@ -131,6 +131,10 @@ type Core struct {
 	dynPool []*dyn
 
 	committedTarget uint64
+
+	// cancel, when non-nil, is polled periodically by Run; a closed channel
+	// makes Run return early with the simulation state intact.
+	cancel <-chan struct{}
 }
 
 // New builds a core over the given instruction source.
@@ -256,13 +260,31 @@ func (c *Core) Cycle() uint64 { return c.cycle }
 // microarchitectural state.
 func (c *Core) ResetStats() { c.stats = metrics.Stats{} }
 
-// Run simulates until n more instructions commit or the source is
-// exhausted. It returns the number of instructions committed.
+// SetCancel installs a cancellation channel (typically ctx.Done()). Run
+// polls it every few thousand cycles — cheap enough to be invisible in the
+// profile, frequent enough that a cancelled context aborts a long simulation
+// within microseconds. A nil channel disables the check.
+func (c *Core) SetCancel(done <-chan struct{}) { c.cancel = done }
+
+// cancelPollMask: poll the cancel channel once per 4096 cycles.
+const cancelPollMask = 1<<12 - 1
+
+// Run simulates until n more instructions commit, the source is exhausted,
+// or the cancel channel (see SetCancel) fires. It returns the number of
+// instructions committed.
 func (c *Core) Run(n uint64) uint64 {
 	start := c.stats.Committed
 	c.committedTarget = start + n
 	idle := 0
 	for c.stats.Committed < c.committedTarget {
+		if c.cancel != nil && c.cycle&cancelPollMask == 0 {
+			select {
+			case <-c.cancel:
+				c.finishStats()
+				return c.stats.Committed - start
+			default:
+			}
+		}
 		before := c.stats.Committed
 		c.step()
 		if c.stats.Committed == before {

@@ -227,3 +227,24 @@ func TestEndOfStream(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRunCancellation: a closed cancel channel makes Run return long before
+// the commit target, with the stats describing the partial run.
+func TestRunCancellation(t *testing.T) {
+	core := New(config.TableI(), workload.New(workload.MustByName("mcf"), 1))
+	done := make(chan struct{})
+	close(done)
+	core.SetCancel(done)
+	committed := core.Run(500_000_000)
+	if committed > 1_000_000 {
+		t.Fatalf("cancelled run committed %d instructions", committed)
+	}
+	if core.Stats().Committed != committed {
+		t.Fatal("stats disagree with Run's return value")
+	}
+	// Clearing the channel resumes normal operation.
+	core.SetCancel(nil)
+	if got := core.Run(10_000); got == 0 {
+		t.Fatal("core did not resume after cancellation cleared")
+	}
+}

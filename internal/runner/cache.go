@@ -1,0 +1,58 @@
+package runner
+
+import (
+	"sync"
+
+	"rsepsim/internal/metrics"
+)
+
+// Cache is an in-process result store keyed by Job Key. It is safe for
+// concurrent use; Get returns an independent snapshot so callers can never
+// corrupt a cached entry. Entries are deterministic simulation outcomes, so
+// the cache needs no invalidation — only the (future, see ROADMAP.md)
+// on-disk layer will add eviction.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]metrics.Stats
+	hits    uint64
+	misses  uint64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[Key]metrics.Stats)}
+}
+
+// Get returns a copy of the cached stats for k, recording a hit or miss.
+func (c *Cache) Get(k Key) (*metrics.Stats, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return &st, true
+}
+
+// Put stores a snapshot of st under k.
+func (c *Cache) Put(k Key, st *metrics.Stats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[k] = st.Snapshot()
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Counters returns the cumulative hit and miss counts.
+func (c *Cache) Counters() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,191 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rsepsim/internal/metrics"
+)
+
+// Progress describes one completed job. Callbacks observe every job exactly
+// once, including cache hits and failures, with Done increasing monotonically
+// to Total.
+type Progress struct {
+	Done     int
+	Total    int
+	CacheHit bool
+	Job      Job
+	Err      error
+}
+
+// Options configures a Pool.
+type Options struct {
+	// Parallelism bounds concurrent simulations; <= 0 means NumCPU.
+	Parallelism int
+	// Cache, when non-nil, is consulted before simulating and updated
+	// after. Sharing one Cache across Pool.Run calls (or across figure
+	// runners) turns repeated (bench, config, seed) jobs into lookups.
+	Cache *Cache
+	// OnProgress, when non-nil, is invoked after each job completes. Calls
+	// are serialized; the callback must not submit to the same Pool.
+	OnProgress func(Progress)
+}
+
+// Pool schedules simulation jobs onto a bounded set of workers.
+type Pool struct {
+	opt Options
+}
+
+// New returns a Pool with the given options.
+func New(opt Options) *Pool { return &Pool{opt: opt} }
+
+// PartialError reports a run that was cancelled before every job finished.
+// The Results returned alongside it hold the jobs that did complete; jobs
+// that never ran (or were aborted mid-simulation) carry the cancellation
+// error instead of stats.
+type PartialError struct {
+	Done  int // jobs that completed successfully
+	Total int
+	Err   error // the cancellation cause
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("runner: cancelled after %d/%d jobs: %v", e.Done, e.Total, e.Err)
+}
+
+func (e *PartialError) Unwrap() error { return e.Err }
+
+// group is one single-flight unit: every submitted job index that shares a
+// key, simulated once.
+type group struct {
+	key     Key
+	indices []int
+}
+
+// Run executes the jobs and returns one Result per job, in submission order
+// — results[i] always corresponds to jobs[i], whatever the parallelism, so
+// a sweep's output is deterministic at any worker count. Identical jobs
+// (equal Key) are simulated once and fanned out.
+//
+// If the context is cancelled, Run returns promptly with the results
+// gathered so far and a *PartialError; otherwise the returned error is the
+// first per-job failure in submission order (the remaining jobs still run,
+// and their results are valid).
+func (p *Pool) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]Result, len(jobs))
+	for i := range jobs {
+		results[i].Job = jobs[i]
+	}
+	if len(jobs) == 0 {
+		return results, nil
+	}
+
+	par := p.opt.Parallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+
+	// Coalesce identical jobs, preserving first-appearance order.
+	byKey := make(map[Key]*group, len(jobs))
+	var order []*group
+	for i, j := range jobs {
+		k := j.Key()
+		g := byKey[k]
+		if g == nil {
+			g = &group{key: k}
+			byKey[k] = g
+			order = append(order, g)
+		}
+		g.indices = append(g.indices, i)
+	}
+
+	var (
+		mu   sync.Mutex // guards done and serializes OnProgress
+		done int
+	)
+	total := len(jobs)
+	finish := func(g *group, st *metrics.Stats, hit bool, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, i := range g.indices {
+			if err != nil {
+				results[i].Err = err
+			} else {
+				s := st.Snapshot()
+				results[i].Stats = &s
+			}
+			done++
+			if p.opt.OnProgress != nil {
+				p.opt.OnProgress(Progress{Done: done, Total: total, CacheHit: hit, Job: jobs[i], Err: err})
+			}
+		}
+	}
+
+	// Resolve cache hits up front; only misses reach the workers.
+	var misses []*group
+	for _, g := range order {
+		if p.opt.Cache != nil {
+			if st, ok := p.opt.Cache.Get(g.key); ok {
+				finish(g, st, true, nil)
+				continue
+			}
+		}
+		misses = append(misses, g)
+	}
+
+	work := make(chan *group)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range work {
+				st, err := Simulate(ctx, jobs[g.indices[0]])
+				if err == nil && p.opt.Cache != nil {
+					p.opt.Cache.Put(g.key, st)
+				}
+				finish(g, st, false, err)
+			}
+		}()
+	}
+feed:
+	for _, g := range misses {
+		select {
+		case work <- g:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	if ctx.Err() != nil {
+		completed := 0
+		for i := range results {
+			if results[i].Stats != nil {
+				completed++
+			}
+		}
+		// A cancellation that landed after the last job finished lost
+		// nothing — return the complete results as a success.
+		if completed < total {
+			for i := range results {
+				if results[i].Stats == nil && results[i].Err == nil {
+					results[i].Err = context.Cause(ctx)
+				}
+			}
+			return results, &PartialError{Done: completed, Total: total, Err: context.Cause(ctx)}
+		}
+	}
+	for i := range results {
+		if results[i].Err != nil {
+			return results, fmt.Errorf("runner: job %d (%s): %w", i, results[i].Job.Bench, results[i].Err)
+		}
+	}
+	return results, nil
+}

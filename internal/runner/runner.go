@@ -1,0 +1,101 @@
+// Package runner is the execution layer every entry point drives simulations
+// through: the experiment harness, the command-line tools, the examples and
+// the benchmarks all submit Jobs instead of hand-rolling loops over
+// pipeline.Core.
+//
+// A Job names one (benchmark, configuration, seed, protocol) simulation. The
+// Pool schedules jobs onto a bounded worker pool with context cancellation,
+// deduplicates identical jobs in flight (single-flight), consults an
+// optional result Cache keyed by the canonical configuration hash, and
+// reports per-job completion through a progress callback. Results come back
+// in job-submission order regardless of worker count, so any sweep is
+// deterministic at any parallelism.
+package runner
+
+import (
+	"context"
+
+	"rsepsim/internal/config"
+	"rsepsim/internal/metrics"
+	"rsepsim/internal/pipeline"
+	"rsepsim/internal/trace"
+	"rsepsim/internal/workload"
+)
+
+// Job is the unit of simulation: one benchmark under one configuration for
+// one segment (Warmup instructions of warmup, Measure measured).
+type Job struct {
+	Bench   string
+	Config  *config.Config
+	Seed    int64
+	Warmup  uint64
+	Measure uint64
+}
+
+// Key identifies a Job's simulation outcome: two jobs with equal keys are
+// guaranteed to produce identical Stats. The configuration is folded into a
+// canonical hash with its Seed normalized to zero — the effective seed is
+// the key's own Seed field, which the simulation applies to both the config
+// and the workload generator.
+type Key struct {
+	Bench      string
+	ConfigHash string
+	Seed       int64
+	Warmup     uint64
+	Measure    uint64
+}
+
+// Key returns the job's cache/dedup key.
+func (j Job) Key() Key {
+	cfg := j.Config.Clone()
+	cfg.Seed = 0
+	return Key{
+		Bench:      j.Bench,
+		ConfigHash: cfg.Hash(),
+		Seed:       j.Seed,
+		Warmup:     j.Warmup,
+		Measure:    j.Measure,
+	}
+}
+
+// Result pairs a job with its outcome. Exactly one of Stats and Err is set.
+type Result struct {
+	Job   Job
+	Stats *metrics.Stats
+	Err   error
+}
+
+// Simulate runs one job to completion and returns its measured statistics.
+// The context cancels a running simulation promptly (the pipeline polls it
+// every few thousand cycles); a cancelled simulation returns ctx's error.
+func Simulate(ctx context.Context, j Job) (*metrics.Stats, error) {
+	prof, err := workload.ByName(j.Bench)
+	if err != nil {
+		return nil, err
+	}
+	cfg := j.Config.Clone()
+	cfg.Seed = j.Seed
+	return SimulateSource(ctx, cfg, workload.New(prof, j.Seed), j.Warmup, j.Measure)
+}
+
+// SimulateSource runs the warmup/measure protocol over an arbitrary
+// instruction source — a workload generator or a materialized trace file.
+// Jobs with custom sources bypass the cache (their outcome is not identified
+// by a benchmark name); named benchmarks should go through Simulate or a
+// Pool instead.
+func SimulateSource(ctx context.Context, cfg *config.Config, src trace.Source, warmup, measure uint64) (*metrics.Stats, error) {
+	core := pipeline.New(cfg, src)
+	if ctx != nil {
+		core.SetCancel(ctx.Done())
+	}
+	core.Run(warmup)
+	if ctx != nil && ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
+	core.ResetStats()
+	core.Run(measure)
+	if ctx != nil && ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
+	return core.Stats(), nil
+}
