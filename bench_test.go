@@ -95,7 +95,7 @@ func BenchmarkRunnerCold(b *testing.B) {
 func BenchmarkRunnerCached(b *testing.B) {
 	jobs := runnerJobs()
 	cache := runner.NewCache()
-	pool := runner.New(runner.Options{Parallelism: 4, Cache: cache})
+	pool := runner.New(runner.Options{Parallelism: 4, Store: cache})
 	if _, err := pool.Run(context.Background(), jobs); err != nil {
 		b.Fatal(err)
 	}
@@ -106,8 +106,7 @@ func BenchmarkRunnerCached(b *testing.B) {
 		}
 	}
 	b.StopTimer()
-	hits, _ := cache.Counters()
-	if hits == 0 {
+	if cache.Counters().Hits == 0 {
 		b.Fatal("cache recorded no hits")
 	}
 }

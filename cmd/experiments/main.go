@@ -2,19 +2,24 @@
 // figure of the evaluation section (and each ablation discussed in its text)
 // has a runner; see DESIGN.md for the experiment index.
 //
-// All figures share one result cache, so `-fig all` simulates each (bench,
+// All figures share one result store, so `-fig all` simulates each (bench,
 // config, seed) combination exactly once even when figures overlap (the
-// baseline and ideal-RSEP configurations appear in most of them). Ctrl-C
-// cancels the in-flight simulations promptly.
+// baseline and ideal-RSEP configurations appear in most of them). By default
+// the store is persistent (-cache-dir, ~/.cache/rsepsim), so a rerun — or a
+// run killed mid-sweep and restarted — only simulates what is missing; each
+// figure prints its hit/miss/stale counts on stderr. Ctrl-C cancels the
+// in-flight simulations promptly.
 //
 // Usage:
 //
 //	experiments -fig 4                  # Figure 4 (speedups)
-//	experiments -fig all                # everything
+//	experiments -fig all                # everything, incrementally
 //	experiments -fig 7 -bench mcf,hmmer -segments 4 -measure 400000
 //	experiments -fig 1 -csv             # machine-readable output
 //	experiments -fig 5 -json            # one JSON object per table
 //	experiments -fig all -v             # live per-job progress on stderr
+//	experiments -fig all -cache off     # in-memory cache only
+//	experiments -fig 6 -cache ro        # read shared results, write nothing
 package main
 
 import (
@@ -30,34 +35,42 @@ import (
 	"rsepsim/internal/experiments"
 	"rsepsim/internal/metrics"
 	"rsepsim/internal/runner"
+	"rsepsim/internal/store"
 )
 
 func main() {
+	defaultDir, _ := store.DefaultDir()
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, hist, isrb, hash, comparators, gshare, table1, storage, all")
-		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all 29)")
-		segments = flag.Int("segments", 0, "segments (checkpoints) per benchmark")
-		warmup   = flag.Uint64("warmup", 0, "warmup instructions per segment")
-		measure  = flag.Uint64("measure", 0, "measured instructions per segment")
-		seed     = flag.Int64("seed", 0, "base random seed")
-		par      = flag.Int("par", 0, "parallel simulations (default NumCPU)")
-		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		jsonOut  = flag.Bool("json", false, "emit each table as a JSON object")
-		verbose  = flag.Bool("v", false, "report per-job progress on stderr")
+		fig       = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, hist, isrb, hash, comparators, gshare, table1, storage, all")
+		bench     = flag.String("bench", "", "comma-separated benchmark subset (default: all 29)")
+		segments  = flag.Int("segments", 0, "segments (checkpoints) per benchmark")
+		warmup    = flag.Uint64("warmup", 0, "warmup instructions per segment")
+		measure   = flag.Uint64("measure", 0, "measured instructions per segment")
+		seed      = flag.Int64("seed", 0, "base random seed")
+		par       = flag.Int("par", 0, "parallel simulations (default NumCPU)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		jsonOut   = flag.Bool("json", false, "emit each table as a JSON object")
+		verbose   = flag.Bool("v", false, "report per-job progress on stderr")
+		cacheDir  = flag.String("cache-dir", defaultDir, "persistent result store directory")
+		cacheMode = flag.String("cache", "rw", "result store mode: off (in-memory only), ro, rw")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cache := runner.NewCache()
+	resStore, disk, err := store.MountFlags("experiments", *cacheDir, *cacheMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
 	opt := experiments.Options{
 		Segments:    *segments,
 		Warmup:      *warmup,
 		Measure:     *measure,
 		BaseSeed:    *seed,
 		Parallelism: *par,
-		Cache:       cache,
+		Store:       resStore,
 	}
 	if *bench != "" {
 		opt.Benchmarks = strings.Split(*bench, ",")
@@ -128,19 +141,20 @@ func main() {
 		}
 		ran = true
 		start := time.Now()
-		hits0, misses0 := cache.Counters()
+		before := resStore.Counters()
 		t, err := r.run(ctx, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: figure %s: %v\n", r.name, err)
 			os.Exit(1)
 		}
 		emit(t)
-		hits, misses := cache.Counters()
-		fmt.Fprintf(os.Stderr, "[fig %s: %.1fs, cache %d hits / %d misses]\n",
-			r.name, time.Since(start).Seconds(), hits-hits0, misses-misses0)
+		c := resStore.Counters().Sub(before)
+		fmt.Fprintf(os.Stderr, "[fig %s: %.1fs, cache %d hits / %d misses / %d stale]\n",
+			r.name, time.Since(start).Seconds(), c.Hits, c.Misses, c.Stale)
 	}
 	if !ran && want != "all" {
 		fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", want)
 		os.Exit(2)
 	}
+	store.WarnWrites("experiments", disk)
 }

@@ -1,0 +1,229 @@
+// Command rsepcache maintains the persistent result store the simulation
+// commands share (see internal/store and the -cache-dir flag).
+//
+// Usage:
+//
+//	rsepcache [-dir DIR] ls                  # one line per entry
+//	rsepcache [-dir DIR] stats               # totals, per-bench breakdown
+//	rsepcache [-dir DIR] verify [-rm]        # integrity-check, optionally delete rejects
+//	rsepcache [-dir DIR] prune -max-age 720h -max-bytes 104857600
+//	rsepcache [-dir DIR] export -o results.tar
+//	rsepcache [-dir DIR] import results.tar  # merge a bundle from another machine
+//
+// The default directory is the one the commands write to (~/.cache/rsepsim).
+// export/import move results between machines or CI runs: a bundle is a tar
+// of entry files that untars directly into any cache directory, and import
+// validates every member (schema, checksum, key) before installing it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"rsepsim/internal/store"
+)
+
+func main() {
+	defaultDir, _ := store.DefaultDir()
+	dir := flag.String("dir", defaultDir, "result store directory")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rsepcache [-dir DIR] {ls|stats|verify|prune|export|import} [args]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *dir == "" {
+		fail(fmt.Errorf("no store directory (set -dir)"))
+	}
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	// Attach, not Open: inspecting a store must work on a read-only mount
+	// and must not create a typo'd -dir. The write paths (import) create
+	// what they need on demand.
+	d, err := store.Attach(*dir)
+	if err != nil {
+		fail(err)
+	}
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	if cmd != "import" {
+		// Catch a mistyped -dir up front; import is the one command that
+		// legitimately targets a directory that does not exist yet.
+		if _, err := os.Stat(*dir); err != nil {
+			fail(err)
+		}
+	}
+	switch cmd {
+	case "ls":
+		err = ls(d)
+	case "stats":
+		err = stats(d)
+	case "verify":
+		err = verify(d, args)
+	case "prune":
+		err = prune(d, args)
+	case "export":
+		err = export(d, args)
+	case "import":
+		err = imprt(d, args)
+	default:
+		fmt.Fprintf(os.Stderr, "rsepcache: unknown command %q\n", cmd)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rsepcache:", err)
+	os.Exit(1)
+}
+
+func ls(d *store.Disk) error {
+	fmt.Printf("%-12s  %-22s  %6s  %9s  %10s  %8s  %-20s\n",
+		"ID", "BENCH", "SEED", "WARMUP", "MEASURE", "SIM", "CREATED")
+	return d.Scan(func(e store.Entry) error {
+		fmt.Printf("%-12s  %-22s  %6d  %9d  %10d  %8s  %-20s\n",
+			e.ID[:12], e.Key.Bench, e.Key.Seed, e.Key.Warmup, e.Key.Measure,
+			e.SimTime.Round(time.Millisecond), e.Created.Local().Format("2006-01-02 15:04:05"))
+		return nil
+	})
+}
+
+func stats(d *store.Disk) error {
+	var (
+		count    int
+		bytes    int64
+		simTime  time.Duration
+		oldest   time.Time
+		newest   time.Time
+		byBench  = map[string]int{}
+		benchSet []string
+	)
+	err := d.Scan(func(e store.Entry) error {
+		if count == 0 || e.Created.Before(oldest) {
+			oldest = e.Created
+		}
+		if count == 0 || e.Created.After(newest) {
+			newest = e.Created
+		}
+		count++
+		bytes += e.Size
+		simTime += e.SimTime
+		if byBench[e.Key.Bench] == 0 {
+			benchSet = append(benchSet, e.Key.Bench)
+		}
+		byBench[e.Key.Bench]++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("entries     %d\n", count)
+	fmt.Printf("size        %d bytes\n", bytes)
+	fmt.Printf("sim time    %s banked\n", simTime.Round(time.Millisecond))
+	if count > 0 {
+		fmt.Printf("oldest      %s\n", oldest.Local().Format(time.RFC3339))
+		fmt.Printf("newest      %s\n", newest.Local().Format(time.RFC3339))
+	}
+	sort.Strings(benchSet)
+	for _, b := range benchSet {
+		fmt.Printf("  %-24s %d\n", b, byBench[b])
+	}
+	return nil
+}
+
+func verify(d *store.Disk, args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	rm := fs.Bool("rm", false, "delete entries that fail verification")
+	fs.Parse(args)
+
+	valid, bad, err := d.Verify()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d valid, %d corrupt\n", valid, len(bad))
+	for _, c := range bad {
+		fmt.Printf("  %s: %v\n", c.Path, c.Reason)
+	}
+	if *rm && len(bad) > 0 {
+		removed, freed, err := d.Prune(store.PruneOptions{Corrupt: true})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("removed %d corrupt entries (%d bytes)\n", removed, freed)
+		return nil
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("%d corrupt entries (re-run with -rm to delete)", len(bad))
+	}
+	return nil
+}
+
+func prune(d *store.Disk, args []string) error {
+	fs := flag.NewFlagSet("prune", flag.ExitOnError)
+	maxAge := fs.Duration("max-age", 0, "remove entries older than this (0 = no age limit)")
+	maxBytes := fs.Int64("max-bytes", 0, "evict oldest entries until total size fits (0 = no size limit)")
+	corrupt := fs.Bool("corrupt", false, "also remove entries that fail verification")
+	fs.Parse(args)
+
+	removed, freed, err := d.Prune(store.PruneOptions{MaxAge: *maxAge, MaxBytes: *maxBytes, Corrupt: *corrupt})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("removed %d entries (%d bytes)\n", removed, freed)
+	return nil
+}
+
+func export(d *store.Disk, args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	out := fs.String("o", "", "output bundle path (default stdout)")
+	fs.Parse(args)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	n, err := d.Export(w)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "exported %d entries\n", n)
+	return nil
+}
+
+func imprt(d *store.Disk, args []string) error {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	fs.Parse(args)
+
+	r := os.Stdin
+	if fs.NArg() > 0 && fs.Arg(0) != "-" {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	imported, skipped, rejected, err := d.Import(r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("imported %d, skipped %d already present, rejected %d\n", imported, skipped, rejected)
+	if rejected > 0 {
+		return fmt.Errorf("%d bundle members rejected", rejected)
+	}
+	return nil
+}

@@ -1,12 +1,15 @@
 // Command rsepsim runs a single benchmark under one configuration and prints
 // a detailed statistics report — the quick way to inspect one simulation.
-// The run is submitted to internal/runner, so Ctrl-C aborts it promptly.
+// The run is submitted to internal/runner, so Ctrl-C aborts it promptly and
+// a repeated invocation is served from the persistent result store
+// (-cache-dir / -cache; -v shows whether this run was a hit).
 //
 // Usage:
 //
 //	rsepsim -bench mcf -mech rsep -insts 500000
 //	rsepsim -bench hmmer -mech rsep-realistic,vp -warmup 200000
 //	rsepsim -bench astar -json          # machine-readable stats
+//	rsepsim -bench mcf -cache off       # always re-simulate
 //	rsepsim -list
 package main
 
@@ -23,19 +26,24 @@ import (
 	"rsepsim/internal/metrics"
 	"rsepsim/internal/rsep"
 	"rsepsim/internal/runner"
+	"rsepsim/internal/store"
 	"rsepsim/internal/vpred"
 	"rsepsim/internal/workload"
 )
 
 func main() {
+	defaultDir, _ := store.DefaultDir()
 	var (
-		bench   = flag.String("bench", "mcf", "benchmark name")
-		mech    = flag.String("mech", "", "mechanisms: comma list of zeropred, moveelim, rsep, rsep-realistic, vp, oracle")
-		insts   = flag.Uint64("insts", 300_000, "instructions to measure")
-		warmup  = flag.Uint64("warmup", 100_000, "warmup instructions")
-		seed    = flag.Int64("seed", 42, "workload seed")
-		list    = flag.Bool("list", false, "list benchmarks and exit")
-		jsonOut = flag.Bool("json", false, "emit the raw stats as JSON")
+		bench     = flag.String("bench", "mcf", "benchmark name")
+		mech      = flag.String("mech", "", "mechanisms: comma list of zeropred, moveelim, rsep, rsep-realistic, vp, oracle")
+		insts     = flag.Uint64("insts", 300_000, "instructions to measure")
+		warmup    = flag.Uint64("warmup", 100_000, "warmup instructions")
+		seed      = flag.Int64("seed", 42, "workload seed")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		jsonOut   = flag.Bool("json", false, "emit the raw stats as JSON")
+		verbose   = flag.Bool("v", false, "report cache status on stderr")
+		cacheDir  = flag.String("cache-dir", defaultDir, "persistent result store directory")
+		cacheMode = flag.String("cache", "rw", "result store mode: off (in-memory only), ro, rw")
 	)
 	flag.Parse()
 
@@ -71,17 +79,30 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	st, err := runner.Simulate(ctx, runner.Job{
+	resStore, disk, err := store.MountFlags("rsepsim", *cacheDir, *cacheMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsepsim:", err)
+		os.Exit(2)
+	}
+	pool := runner.New(runner.Options{Parallelism: 1, Store: resStore})
+	res, err := pool.Run(ctx, []runner.Job{{
 		Bench:   *bench,
 		Config:  cfg,
 		Seed:    *seed,
 		Warmup:  *warmup,
 		Measure: *insts,
-	})
+	}})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rsepsim:", err)
 		os.Exit(1)
 	}
+	st := res[0].Stats
+	if *verbose {
+		c := resStore.Counters()
+		fmt.Fprintf(os.Stderr, "rsepsim: cache %d hits / %d misses / %d stale (%s, mode %s)\n",
+			c.Hits, c.Misses, c.Stale, *cacheDir, *cacheMode)
+	}
+	store.WarnWrites("rsepsim", disk)
 	if *jsonOut {
 		if err := st.EncodeJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "rsepsim:", err)

@@ -3,7 +3,9 @@
 // workload generation from timing simulation and make runs byte-for-byte
 // reproducible across machines. With -simulate the freshly written (or an
 // existing) trace is replayed through the runner on the Table I core as an
-// end-to-end smoke check.
+// end-to-end smoke check; the replay result is keyed by the trace file's
+// content hash in the persistent store, so re-checking an unchanged trace
+// is free (-cache-dir / -cache, as in the other commands).
 //
 // Usage:
 //
@@ -14,19 +16,25 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"rsepsim/internal/config"
 	"rsepsim/internal/runner"
+	"rsepsim/internal/store"
 	"rsepsim/internal/trace"
 	"rsepsim/internal/workload"
 )
 
 func main() {
+	defaultDir, _ := store.DefaultDir()
 	var (
 		bench     = flag.String("bench", "", "benchmark to trace")
 		n         = flag.Uint64("n", 1_000_000, "instructions to emit")
@@ -34,6 +42,8 @@ func main() {
 		seed      = flag.Int64("seed", 42, "workload seed")
 		summarize = flag.String("summarize", "", "summarise an existing trace file")
 		simulate  = flag.Bool("simulate", false, "replay the trace through the simulator as a smoke check")
+		cacheDir  = flag.String("cache-dir", defaultDir, "persistent result store directory")
+		cacheMode = flag.String("cache", "rw", "result store mode: off (in-memory only), ro, rw")
 	)
 	flag.Parse()
 
@@ -44,13 +54,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
+	// The store only ever holds replay results, so don't touch (or even
+	// create) it unless -simulate is on.
+	var resStore runner.Store
+	var disk *store.Disk
+	if *simulate {
+		var err error
+		resStore, disk, err = store.MountFlags("tracegen", *cacheDir, *cacheMode)
+		if err != nil {
+			fail(err)
+		}
+	}
 	switch {
 	case *summarize != "":
 		if err := summary(*summarize); err != nil {
 			fail(err)
 		}
 		if *simulate {
-			if err := replay(ctx, *summarize); err != nil {
+			if err := replay(ctx, *summarize, resStore); err != nil {
 				fail(err)
 			}
 		}
@@ -59,7 +80,7 @@ func main() {
 			fail(err)
 		}
 		if *simulate {
-			if err := replay(ctx, *out); err != nil {
+			if err := replay(ctx, *out, resStore); err != nil {
 				fail(err)
 			}
 		}
@@ -67,6 +88,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	store.WarnWrites("tracegen", disk)
 }
 
 func generate(ctx context.Context, bench, out string, n uint64, seed int64) error {
@@ -106,7 +128,21 @@ func generate(ctx context.Context, bench, out string, n uint64, seed int64) erro
 // replay drives the trace through the simulation runner on the baseline
 // Table I core and prints the resulting IPC — a cheap end-to-end check that
 // the trace is well-formed and consumable by the pipeline.
-func replay(ctx context.Context, path string) error {
+//
+// A materialized trace has no benchmark name to key a cache entry by, so the
+// replay is keyed by the trace file's content hash instead: re-checking an
+// unchanged trace file becomes a store lookup.
+func replay(ctx context.Context, path string, resStore runner.Store) error {
+	key, err := replayKey(path)
+	if err != nil {
+		return err
+	}
+	if resStore != nil {
+		if st, ok := resStore.Get(key); ok {
+			fmt.Printf("replayed %d instructions in %d cycles (IPC %.3f) [cached]\n", st.Committed, st.Cycles, st.IPC())
+			return nil
+		}
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -116,6 +152,7 @@ func replay(ctx context.Context, path string) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	st, err := runner.SimulateSource(ctx, config.TableI(), r, 0, ^uint64(0))
 	if err != nil {
 		return err
@@ -123,8 +160,35 @@ func replay(ctx context.Context, path string) error {
 	if err := r.Err(); err != nil {
 		return err
 	}
+	if resStore != nil {
+		resStore.Put(key, st, time.Since(start))
+	}
 	fmt.Printf("replayed %d instructions in %d cycles (IPC %.3f)\n", st.Committed, st.Cycles, st.IPC())
 	return nil
+}
+
+// replayKey derives the runner.Key for a trace replay: the pseudo-benchmark
+// "trace:<sha256 of the file>" under the Table I configuration, full-file
+// measurement. Content addressing means a regenerated identical trace still
+// hits, while any edit changes the key.
+func replayKey(path string) (runner.Key, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return runner.Key{}, err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return runner.Key{}, err
+	}
+	cfg := config.TableI()
+	cfg.Seed = 0 // mirror runner.Job.Key: the config hash is seed-normalized
+	return runner.Key{
+		Bench:      "trace:" + hex.EncodeToString(h.Sum(nil)),
+		ConfigHash: cfg.Hash(),
+		Warmup:     0,
+		Measure:    ^uint64(0),
+	}, nil
 }
 
 func summary(path string) error {

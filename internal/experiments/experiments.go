@@ -6,9 +6,10 @@
 // All simulation goes through internal/runner: a figure expands to a list of
 // (benchmark, configuration, segment) jobs, and the shared pool handles
 // parallelism, cancellation, deduplication and result caching. Passing the
-// same Options.Cache to several figure runners lets them reuse each other's
+// same Options.Store to several figure runners lets them reuse each other's
 // simulations — Figures 4, 5 and 6 share baseline and ideal-RSEP
-// configurations that would otherwise be re-simulated from scratch.
+// configurations that would otherwise be re-simulated from scratch — and a
+// persistent store (internal/store) extends that reuse across processes.
 package experiments
 
 import (
@@ -35,10 +36,11 @@ type Options struct {
 	BaseSeed    int64
 	Parallelism int // concurrent simulations (default: NumCPU)
 
-	// Cache, when non-nil, is consulted for every job and filled with every
+	// Store, when non-nil, is consulted for every job and filled with every
 	// simulated result. Share one across figure runners to skip
-	// configurations they have in common.
-	Cache *runner.Cache
+	// configurations they have in common; mount a persistent store
+	// (internal/store) to skip them across invocations and machines.
+	Store runner.Store
 	// Progress, when non-nil, observes every job completion.
 	Progress func(runner.Progress)
 }
@@ -70,7 +72,7 @@ func (o Options) Defaults() Options {
 func (o Options) pool() *runner.Pool {
 	return runner.New(runner.Options{
 		Parallelism: o.Parallelism,
-		Cache:       o.Cache,
+		Store:       o.Store,
 		OnProgress:  o.Progress,
 	})
 }

@@ -197,22 +197,22 @@ func TestSweepCancellation(t *testing.T) {
 // simulations of the configurations they have in common.
 func TestSweepSharedCache(t *testing.T) {
 	opt := tiny("gamess")
-	opt.Cache = runner.NewCache()
+	opt.Store = runner.NewCache()
 	base := config.TableI()
 	if _, err := Sweep([]*config.Config{base}, opt); err != nil {
 		t.Fatal(err)
 	}
-	_, misses0 := opt.Cache.Counters()
+	misses0 := opt.Store.Counters().Misses
 	// Second sweep includes the baseline again plus one new config.
 	if _, err := Sweep([]*config.Config{base, base.WithMoveElim()}, opt); err != nil {
 		t.Fatal(err)
 	}
-	hits, misses := opt.Cache.Counters()
-	if hits == 0 {
+	c := opt.Store.Counters()
+	if c.Hits == 0 {
 		t.Fatal("shared cache recorded no hits on overlapping configs")
 	}
-	if misses != misses0+uint64(opt.Segments) {
-		t.Fatalf("misses = %d, want %d (only the new config simulates)", misses, misses0+uint64(opt.Segments))
+	if c.Misses != misses0+uint64(opt.Segments) {
+		t.Fatalf("misses = %d, want %d (only the new config simulates)", c.Misses, misses0+uint64(opt.Segments))
 	}
 }
 

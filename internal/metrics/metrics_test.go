@@ -3,6 +3,7 @@ package metrics
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -158,4 +159,29 @@ func TestTableJSON(t *testing.T) {
 	if buf.String() != want {
 		t.Fatalf("JSON = %q, want %q", buf.String(), want)
 	}
+}
+
+// TestStatsHasNoReferenceFields guards the snapshot semantics every cache
+// layer depends on: runner.Cache and the on-disk store hand out shallow
+// copies of Stats (see Snapshot), which is only a full copy while Stats
+// holds no pointer, slice, map, channel, function or interface field. A new
+// counter added as a reference type would silently alias cache entries with
+// caller mutations — this test turns that into an immediate failure.
+func TestStatsHasNoReferenceFields(t *testing.T) {
+	var check func(typ reflect.Type, path string)
+	check = func(typ reflect.Type, path string) {
+		switch typ.Kind() {
+		case reflect.Pointer, reflect.Slice, reflect.Map, reflect.Chan,
+			reflect.Func, reflect.Interface, reflect.UnsafePointer:
+			t.Errorf("%s has kind %v: value-copy snapshots would alias it; store it by value or extend Snapshot/Merge to deep-copy", path, typ.Kind())
+		case reflect.Struct:
+			for i := 0; i < typ.NumField(); i++ {
+				f := typ.Field(i)
+				check(f.Type, path+"."+f.Name)
+			}
+		case reflect.Array:
+			check(typ.Elem(), path+"[...]")
+		}
+	}
+	check(reflect.TypeOf(Stats{}), "Stats")
 }

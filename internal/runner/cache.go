@@ -2,21 +2,25 @@ package runner
 
 import (
 	"sync"
+	"time"
 
 	"rsepsim/internal/metrics"
 )
 
-// Cache is an in-process result store keyed by Job Key. It is safe for
-// concurrent use; Get returns an independent snapshot so callers can never
-// corrupt a cached entry. Entries are deterministic simulation outcomes, so
-// the cache needs no invalidation — only the (future, see ROADMAP.md)
-// on-disk layer will add eviction.
+// Cache is the in-process Store: a map of Key → Stats snapshots. It is safe
+// for concurrent use; Get returns an independent snapshot so callers can
+// never corrupt a cached entry. Entries are deterministic simulation
+// outcomes, so the cache needs no invalidation; it lives and dies with the
+// process — the tiered store in internal/store layers it over a persistent
+// on-disk directory.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[Key]metrics.Stats
 	hits    uint64
 	misses  uint64
 }
+
+var _ Store = (*Cache)(nil)
 
 // NewCache returns an empty cache.
 func NewCache() *Cache {
@@ -36,8 +40,9 @@ func (c *Cache) Get(k Key) (*metrics.Stats, bool) {
 	return &st, true
 }
 
-// Put stores a snapshot of st under k.
-func (c *Cache) Put(k Key, st *metrics.Stats) {
+// Put stores a snapshot of st under k. The simulation time is ignored — a
+// process-local map has no economics to track.
+func (c *Cache) Put(k Key, st *metrics.Stats, _ time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries[k] = st.Snapshot()
@@ -50,9 +55,10 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
-// Counters returns the cumulative hit and miss counts.
-func (c *Cache) Counters() (hits, misses uint64) {
+// Counters returns the cumulative lookup statistics. A purely in-memory
+// cache never rejects an entry, so Stale is always zero.
+func (c *Cache) Counters() Counters {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return Counters{Hits: c.hits, Misses: c.misses}
 }

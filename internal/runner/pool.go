@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"rsepsim/internal/metrics"
 )
@@ -24,10 +25,12 @@ type Progress struct {
 type Options struct {
 	// Parallelism bounds concurrent simulations; <= 0 means NumCPU.
 	Parallelism int
-	// Cache, when non-nil, is consulted before simulating and updated
-	// after. Sharing one Cache across Pool.Run calls (or across figure
-	// runners) turns repeated (bench, config, seed) jobs into lookups.
-	Cache *Cache
+	// Store, when non-nil, is consulted before simulating and updated
+	// after. Sharing one Store across Pool.Run calls (or across figure
+	// runners) turns repeated (bench, config, seed) jobs into lookups;
+	// a persistent Store (internal/store) extends that across processes
+	// and machines.
+	Store Store
 	// OnProgress, when non-nil, is invoked after each job completes. Calls
 	// are serialized; the callback must not submit to the same Pool.
 	OnProgress func(Progress)
@@ -126,11 +129,11 @@ func (p *Pool) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		}
 	}
 
-	// Resolve cache hits up front; only misses reach the workers.
+	// Resolve store hits up front; only misses reach the workers.
 	var misses []*group
 	for _, g := range order {
-		if p.opt.Cache != nil {
-			if st, ok := p.opt.Cache.Get(g.key); ok {
+		if p.opt.Store != nil {
+			if st, ok := p.opt.Store.Get(g.key); ok {
 				finish(g, st, true, nil)
 				continue
 			}
@@ -145,9 +148,10 @@ func (p *Pool) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for g := range work {
+				start := time.Now()
 				st, err := Simulate(ctx, jobs[g.indices[0]])
-				if err == nil && p.opt.Cache != nil {
-					p.opt.Cache.Put(g.key, st)
+				if err == nil && p.opt.Store != nil {
+					p.opt.Store.Put(g.key, st, time.Since(start))
 				}
 				finish(g, st, false, err)
 			}

@@ -6,7 +6,8 @@
 // A Job names one (benchmark, configuration, seed, protocol) simulation. The
 // Pool schedules jobs onto a bounded worker pool with context cancellation,
 // deduplicates identical jobs in flight (single-flight), consults an
-// optional result Cache keyed by the canonical configuration hash, and
+// optional result Store keyed by the canonical configuration hash (the
+// in-process Cache, or the persistent tiered store in internal/store), and
 // reports per-job completion through a progress callback. Results come back
 // in job-submission order regardless of worker count, so any sweep is
 // deterministic at any parallelism.

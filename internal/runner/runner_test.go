@@ -97,7 +97,7 @@ func TestKeyDistinguishesConfigsNotSeedAliases(t *testing.T) {
 // TestSingleFlight: identical jobs in one Run are simulated once.
 func TestSingleFlight(t *testing.T) {
 	cache := NewCache()
-	pool := New(Options{Parallelism: 4, Cache: cache})
+	pool := New(Options{Parallelism: 4, Store: cache})
 	j := Job{Bench: "gamess", Config: config.TableI(), Seed: 1, Warmup: 5_000, Measure: 10_000}
 	res, err := pool.Run(t.Context(), []Job{j, j, j, j})
 	if err != nil {
@@ -108,8 +108,8 @@ func TestSingleFlight(t *testing.T) {
 			t.Fatal("identical jobs diverged")
 		}
 	}
-	if _, misses := cache.Counters(); misses != 1 {
-		t.Fatalf("simulated %d times, want 1 (single-flight)", misses)
+	if c := cache.Counters(); c.Misses != 1 {
+		t.Fatalf("simulated %d times, want 1 (single-flight)", c.Misses)
 	}
 }
 
@@ -118,15 +118,15 @@ func TestSingleFlight(t *testing.T) {
 func TestCacheHits(t *testing.T) {
 	jobs := testJobs()
 	cache := NewCache()
-	pool := New(Options{Parallelism: 4, Cache: cache})
+	pool := New(Options{Parallelism: 4, Store: cache})
 
 	first, err := pool.Run(t.Context(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits0, misses0 := cache.Counters()
-	if hits0 != 0 || misses0 != uint64(len(jobs)) {
-		t.Fatalf("cold run: %d hits / %d misses, want 0/%d", hits0, misses0, len(jobs))
+	cold := cache.Counters()
+	if cold.Hits != 0 || cold.Misses != uint64(len(jobs)) {
+		t.Fatalf("cold run: %d hits / %d misses, want 0/%d", cold.Hits, cold.Misses, len(jobs))
 	}
 
 	var hitCount int
@@ -240,7 +240,7 @@ func TestSimulateMatchesPool(t *testing.T) {
 func TestCacheSnapshotIsolation(t *testing.T) {
 	c := NewCache()
 	k := Key{Bench: "x"}
-	c.Put(k, &metrics.Stats{Cycles: 10})
+	c.Put(k, &metrics.Stats{Cycles: 10}, 0)
 	got, ok := c.Get(k)
 	if !ok || got.Cycles != 10 {
 		t.Fatal("cache miss after put")
