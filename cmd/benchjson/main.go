@@ -1,0 +1,149 @@
+// Command benchjson turns `go test -bench` output into the BENCH_PIPELINE.json
+// record kept at the repository root, so the simulator's throughput
+// trajectory is tracked across PRs. It reads benchmark output on stdin,
+// takes the median over repeated -count runs, and derives simulated
+// instructions per second for benchmarks that report an insts/op metric.
+//
+// Usage:
+//
+//	go test -run XXX -bench 'BenchmarkPipeline' -benchtime 3x -count 5 . | benchjson -o BENCH_PIPELINE.json
+//	go test -bench . -benchtime 1x . | benchjson            # JSON on stdout
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`               // median over runs
+	InstsPerOp  float64 `json:"insts_per_op,omitempty"`  // simulated instructions per iteration
+	InstsPerSec float64 `json:"insts_per_sec,omitempty"` // derived throughput
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"` // present with -benchmem
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`  // present with -benchmem
+}
+
+type report struct {
+	Commit     string   `json:"commit,omitempty"`
+	GoVersion  string   `json:"go_version,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func median(v []float64) float64 {
+	sort.Float64s(v)
+	n := len(v)
+	if n%2 == 1 {
+		return v[n/2]
+	}
+	return (v[n/2-1] + v[n/2]) / 2
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	commit := flag.String("commit", "", "commit hash to record")
+	flag.Parse()
+
+	// benchjson runs with the same toolchain that ran the benchmarks.
+	rep := report{Commit: *commit, GoVersion: runtime.Version()}
+	type agg struct {
+		ns, insts, allocs, bytes []float64
+	}
+	byName := map[string]*agg{}
+	var order []string
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		name := strings.SplitN(f[0], "-", 2)[0] // strip -GOMAXPROCS suffix
+		a := byName[name]
+		if a == nil {
+			a = &agg{}
+			byName[name] = a
+			order = append(order, name)
+		}
+		// f[1] is the iteration count; then value/unit pairs follow.
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "ns/op":
+				a.ns = append(a.ns, v)
+			case "insts/op":
+				a.insts = append(a.insts, v)
+			case "allocs/op":
+				a.allocs = append(a.allocs, v)
+			case "B/op":
+				a.bytes = append(a.bytes, v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	for _, name := range order {
+		a := byName[name]
+		if len(a.ns) == 0 {
+			continue
+		}
+		r := result{Name: name, Runs: len(a.ns), NsPerOp: median(a.ns)}
+		if len(a.insts) > 0 {
+			r.InstsPerOp = median(a.insts)
+			if r.NsPerOp > 0 {
+				r.InstsPerSec = r.InstsPerOp / (r.NsPerOp * 1e-9)
+			}
+		}
+		if len(a.allocs) > 0 {
+			r.AllocsPerOp = median(a.allocs)
+		}
+		if len(a.bytes) > 0 {
+			r.BytesPerOp = median(a.bytes)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -34,6 +34,7 @@ import (
 
 	"rsepsim/internal/experiments"
 	"rsepsim/internal/metrics"
+	"rsepsim/internal/prof"
 	"rsepsim/internal/runner"
 	"rsepsim/internal/store"
 )
@@ -53,16 +54,31 @@ func main() {
 		verbose   = flag.Bool("v", false, "report per-job progress on stderr")
 		cacheDir  = flag.String("cache-dir", defaultDir, "persistent result store directory")
 		cacheMode = flag.String("cache", "rw", "result store mode: off (in-memory only), ro, rw")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
+	// fail flushes the profiles before exiting (os.Exit skips defers), so an
+	// interrupted profiled sweep still yields a usable cpu.prof.
+	fail := func(code int, format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+		stopProf()
+		os.Exit(code)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	resStore, disk, err := store.MountFlags("experiments", *cacheDir, *cacheMode)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(2)
+		fail(2, "%v", err)
 	}
 	opt := experiments.Options{
 		Segments:    *segments,
@@ -113,8 +129,7 @@ func main() {
 		switch {
 		case *jsonOut:
 			if err := t.JSON(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				fail(1, "%v", err)
 			}
 		case *csv:
 			t.CSV(os.Stdout)
@@ -144,8 +159,7 @@ func main() {
 		before := resStore.Counters()
 		t, err := r.run(ctx, opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: figure %s: %v\n", r.name, err)
-			os.Exit(1)
+			fail(1, "figure %s: %v", r.name, err)
 		}
 		emit(t)
 		c := resStore.Counters().Sub(before)
@@ -153,8 +167,7 @@ func main() {
 			r.name, time.Since(start).Seconds(), c.Hits, c.Misses, c.Stale)
 	}
 	if !ran && want != "all" {
-		fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", want)
-		os.Exit(2)
+		fail(2, "unknown figure %q", want)
 	}
 	store.WarnWrites("experiments", disk)
 }

@@ -24,6 +24,7 @@ import (
 
 	"rsepsim/internal/config"
 	"rsepsim/internal/metrics"
+	"rsepsim/internal/prof"
 	"rsepsim/internal/rsep"
 	"rsepsim/internal/runner"
 	"rsepsim/internal/store"
@@ -44,6 +45,8 @@ func main() {
 		verbose   = flag.Bool("v", false, "report cache status on stderr")
 		cacheDir  = flag.String("cache-dir", defaultDir, "persistent result store directory")
 		cacheMode = flag.String("cache", "rw", "result store mode: off (in-memory only), ro, rw")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -52,6 +55,20 @@ func main() {
 			fmt.Println(n)
 		}
 		return
+	}
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsepsim:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
+	// fail flushes the profiles before exiting (os.Exit skips defers), so an
+	// interrupted profiled run still yields a usable cpu.prof.
+	fail := func(code int, err error) {
+		fmt.Fprintln(os.Stderr, "rsepsim:", err)
+		stopProf()
+		os.Exit(code)
 	}
 
 	cfg := config.TableI()
@@ -81,8 +98,7 @@ func main() {
 
 	resStore, disk, err := store.MountFlags("rsepsim", *cacheDir, *cacheMode)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rsepsim:", err)
-		os.Exit(2)
+		fail(2, err)
 	}
 	pool := runner.New(runner.Options{Parallelism: 1, Store: resStore})
 	res, err := pool.Run(ctx, []runner.Job{{
@@ -93,8 +109,7 @@ func main() {
 		Measure: *insts,
 	}})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rsepsim:", err)
-		os.Exit(1)
+		fail(1, err)
 	}
 	st := res[0].Stats
 	if *verbose {
@@ -105,8 +120,7 @@ func main() {
 	store.WarnWrites("rsepsim", disk)
 	if *jsonOut {
 		if err := st.EncodeJSON(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "rsepsim:", err)
-			os.Exit(1)
+			fail(1, err)
 		}
 		return
 	}

@@ -284,13 +284,21 @@ func (p *Predictor) updateDirection(pc uint64, pr *Prediction, taken bool) {
 
 func (p *Predictor) allocate(pc uint64, pr *Prediction, taken bool) {
 	start := pr.provider + 1
-	var cands []int
+	// Only the first two u==0 candidates can ever be picked, so track them
+	// directly instead of building a slice (this runs on every resolved
+	// mispredict — keep it allocation-free).
+	first, second := -1, -1
 	for i := start; i < len(p.tables); i++ {
 		if p.tables[i][pr.indices[i]].u == 0 {
-			cands = append(cands, i)
+			if first < 0 {
+				first = i
+			} else {
+				second = i
+				break
+			}
 		}
 	}
-	if len(cands) == 0 {
+	if first < 0 {
 		for i := start; i < len(p.tables); i++ {
 			e := &p.tables[i][pr.indices[i]]
 			if e.u > 0 {
@@ -299,9 +307,9 @@ func (p *Predictor) allocate(pc uint64, pr *Prediction, taken bool) {
 		}
 		return
 	}
-	pick := cands[0]
-	if len(cands) > 1 && p.rng.Intn(2) == 0 {
-		pick = cands[1]
+	pick := first
+	if second >= 0 && p.rng.Intn(2) == 0 {
+		pick = second
 	}
 	var ctr int8
 	if !taken {

@@ -47,12 +47,13 @@ type mshr struct {
 
 // Cache is one level of the hierarchy.
 type Cache struct {
-	cfg   Config
-	sets  [][]line
-	nsets uint64
-	next  Backend
-	mshrs []mshr
-	tick  uint64
+	cfg     Config
+	sets    [][]line
+	nsets   uint64
+	setMask uint64 // nsets-1 when nsets is a power of two, else 0
+	next    Backend
+	mshrs   []mshr
+	tick    uint64
 
 	// Stats
 	Accesses, Misses, PrefetchIssued, PrefetchUseful, MSHRStalls uint64
@@ -62,6 +63,12 @@ type Cache struct {
 func New(cfg Config, next Backend) *Cache {
 	nsets := cfg.SizeKB * 1024 / LineBytes / cfg.Ways
 	c := &Cache{cfg: cfg, nsets: uint64(nsets), next: next}
+	// All Table I geometries have power-of-two set counts, so the hot-path
+	// set index is a mask instead of a modulo; setIndex falls back to the
+	// division for exotic configurations.
+	if nsets > 0 && nsets&(nsets-1) == 0 {
+		c.setMask = uint64(nsets) - 1
+	}
 	c.sets = make([][]line, nsets)
 	for i := range c.sets {
 		c.sets[i] = make([]line, cfg.Ways)
@@ -69,11 +76,18 @@ func New(cfg Config, next Backend) *Cache {
 	return c
 }
 
+func (c *Cache) setIndex(lineAddr uint64) uint64 {
+	if c.setMask != 0 {
+		return lineAddr & c.setMask
+	}
+	return lineAddr % c.nsets
+}
+
 // Name returns the level's configured name.
 func (c *Cache) Name() string { return c.cfg.Name }
 
 func (c *Cache) findLine(lineAddr uint64) *line {
-	set := c.sets[lineAddr%c.nsets]
+	set := c.sets[c.setIndex(lineAddr)]
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {
 			return &set[i]
@@ -83,7 +97,7 @@ func (c *Cache) findLine(lineAddr uint64) *line {
 }
 
 func (c *Cache) victim(lineAddr uint64) *line {
-	set := c.sets[lineAddr%c.nsets]
+	set := c.sets[c.setIndex(lineAddr)]
 	v := &set[0]
 	for i := range set {
 		if !set[i].valid {

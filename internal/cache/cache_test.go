@@ -117,3 +117,34 @@ func TestMissRate(t *testing.T) {
 		t.Fatalf("miss rate = %.2f, want 0.50", mr)
 	}
 }
+
+func TestSetIndexGeometries(t *testing.T) {
+	// The hot path uses a mask when the set count is a power of two and
+	// must fall back to the modulo otherwise; both geometries have to
+	// agree with a direct-mapped reference.
+	cases := []struct {
+		sizeKB, ways int
+		pow2         bool
+	}{
+		{32, 8, true},  // 64 sets — Table I L1
+		{48, 12, true}, // 64 sets via non-pow2 size/ways
+		{24, 8, false}, // 48 sets
+	}
+	for _, tc := range cases {
+		c := New(Config{Name: "t", SizeKB: tc.sizeKB, Ways: tc.ways,
+			Latency: 1, MSHRs: 4}, FixedLatency(10))
+		if got := c.setMask != 0; got != tc.pow2 {
+			t.Errorf("%dKB/%d-way: mask used = %v, want %v", tc.sizeKB, tc.ways, got, tc.pow2)
+		}
+		for i := uint64(0); i < 4*c.nsets; i++ {
+			addr := i * LineBytes
+			c.Access(addr, 1000*i, false, false)
+			if !c.Contains(addr) {
+				t.Fatalf("%dKB/%d-way: line %#x not resident after fill", tc.sizeKB, tc.ways, addr)
+			}
+			if want := i % c.nsets; c.setIndex(i) != want {
+				t.Fatalf("%dKB/%d-way: setIndex(%d) = %d, want %d", tc.sizeKB, tc.ways, i, c.setIndex(i), want)
+			}
+		}
+	}
+}

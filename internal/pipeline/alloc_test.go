@@ -1,0 +1,37 @@
+package pipeline
+
+import (
+	"testing"
+
+	"rsepsim/internal/config"
+	"rsepsim/internal/rsep"
+	"rsepsim/internal/workload"
+)
+
+// TestSteadyStateAllocations pins the hot loop's allocation behaviour: once
+// the arena, wheels and queues have grown to the inflight window, Core.Run
+// must allocate (almost) nothing per committed instruction. The residual
+// budget covers genuinely cold work — simulated-memory pages for freshly
+// touched footprint and the occasional capacity double of a reused slice —
+// none of which scales with instruction count. A per-cycle allocation (one
+// map bucket, one event slice, one dyn) would exceed the bound by orders of
+// magnitude.
+func TestSteadyStateAllocations(t *testing.T) {
+	cfgs := map[string]*config.Config{
+		"baseline": config.TableI(),
+		"rsep":     config.TableI().WithRSEP(rsep.Realistic()),
+	}
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			core := New(cfg, workload.New(workload.MustByName("mcf"), 42))
+			core.Run(100_000) // reach steady state
+			const chunk = 20_000
+			avg := testing.AllocsPerRun(5, func() { core.Run(chunk) })
+			perInst := avg / chunk
+			t.Logf("%s: %.1f allocs per %d-inst run (%.5f/inst)", name, avg, chunk, perInst)
+			if perInst > 0.02 {
+				t.Errorf("steady-state allocations = %.4f per committed instruction, want ~0 (<= 0.02)", perInst)
+			}
+		})
+	}
+}

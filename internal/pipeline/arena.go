@@ -1,0 +1,64 @@
+package pipeline
+
+import (
+	"rsepsim/internal/regfile"
+	"rsepsim/internal/uarch"
+)
+
+// The dyn arena: every inflight instruction record lives in one flat slice,
+// and the pipeline's queues (rob, iq, lq, sq, fetchQ, the event wheel) hold
+// uint32 indices into it. Compared to per-instruction heap objects this
+// removes pointer chasing from the per-cycle loop and takes the records out
+// of the garbage collector's scan set (dyn is pointer-free).
+//
+// Pointer discipline: &c.darena[i] is invalidated when the arena grows, and
+// the arena grows only in newDyn. newDyn is called exclusively from fetch(),
+// which never holds a *dyn across the call, so taking short-lived *dyn
+// locals everywhere else is safe.
+
+// noDyn is the nil arena index.
+const noDyn = ^uint32(0)
+
+// d resolves an arena index. The returned pointer must not be held across a
+// call to newDyn.
+func (c *Core) d(i uint32) *dyn { return &c.darena[i] }
+
+// newDyn takes a record from the free list, growing the arena when empty.
+func (c *Core) newDyn(in uarch.Inst) uint32 {
+	var di uint32
+	if n := len(c.dynFree); n > 0 {
+		di = c.dynFree[n-1]
+		c.dynFree = c.dynFree[:n-1]
+		d := &c.darena[di]
+		token := d.wakeToken
+		*d = dyn{}
+		d.wakeToken = token
+	} else {
+		c.darena = append(c.darena, dyn{})
+		di = uint32(len(c.darena) - 1)
+	}
+	d := &c.darena[di]
+	d.in = in
+	d.archDest = -1
+	if in.HasDest() {
+		d.archDest = int(in.Dst)
+	}
+	d.dstPreg = regfile.PRegNone
+	d.oldPreg = regfile.PRegNone
+	d.providerPreg = regfile.PRegNone
+	d.port = -1
+	return di
+}
+
+// freeDyn returns a record to the free list. The token bump kills any wake
+// references still pointing at this slot; records with a pending completion
+// event are freed by the event drain instead (the wheel still links them).
+func (c *Core) freeDyn(di uint32) {
+	d := &c.darena[di]
+	if d.evtPending {
+		panic("pipeline: freeing dyn with pending completion event")
+	}
+	d.wakeToken++
+	d.wstate = wNone
+	c.dynFree = append(c.dynFree, di)
+}

@@ -25,7 +25,8 @@ func (c *Core) commit() {
 		if c.robHead >= len(c.rob) {
 			break
 		}
-		d := c.rob[c.robHead]
+		di := c.rob[c.robHead]
+		d := c.d(di)
 		if !d.done || d.readyAt > c.cycle {
 			break
 		}
@@ -58,10 +59,10 @@ func (c *Core) commit() {
 		switch {
 		case in.IsLoad():
 			c.stats.CommittedLoads++
-			c.removeLQ(d)
+			c.removeLQ(di)
 		case in.IsStore():
 			c.stats.CommittedStores++
-			c.removeSQ(d)
+			c.removeSQ(di)
 		case in.IsBranch():
 			c.stats.CommittedBranches++
 		}
@@ -85,11 +86,11 @@ func (c *Core) commit() {
 			}
 			// Full pipeline flush behind the offender.
 			c.squashFrom(d.seq() + 1)
-			c.freeDyn(d)
+			c.freeDyn(di)
 			c.stats.CommitEligibleHist[groupEligible]++
 			return
 		}
-		c.freeDyn(d)
+		c.freeDyn(di)
 	}
 	if committed > 0 {
 		c.stats.CommitEligibleHist[groupEligible]++
@@ -219,18 +220,18 @@ func (c *Core) freePreg(p regfile.PReg) {
 	c.prf.Free(p)
 }
 
-func (c *Core) removeLQ(d *dyn) {
+func (c *Core) removeLQ(di uint32) {
 	for i, l := range c.lq {
-		if l == d {
+		if l == di {
 			c.lq = append(c.lq[:i], c.lq[i+1:]...)
 			return
 		}
 	}
 }
 
-func (c *Core) removeSQ(d *dyn) {
+func (c *Core) removeSQ(di uint32) {
 	for i, s := range c.sq {
-		if s == d {
+		if s == di {
 			c.sq = append(c.sq[:i], c.sq[i+1:]...)
 			return
 		}

@@ -1,34 +1,83 @@
 package pipeline
 
-// Completion: a bucketed event queue maps cycles to the instructions whose
-// results arrive then. complete() runs before issue() each cycle, so a
-// consumer can issue back-to-back with its producer (full bypass, Table I).
+// Completion: execution results are scheduled on a calendar queue — a
+// fixed-size event wheel of intrusive lists indexed by cycle & (W-1), with a
+// small overflow min-heap for latencies beyond the horizon (queued DRAM
+// fills) — replacing the old map[cycle][]*dyn and its per-cycle lookup and
+// delete. complete() runs before issue() each cycle, so a consumer can issue
+// back-to-back with its producer (full bypass, Table I).
+//
+// Within a cycle events fire in schedule order (store-set training depends
+// on it): a heap entry for cycle T was necessarily scheduled before any
+// wheel entry for T — once T is within the horizon nothing routes to the
+// heap — so draining the heap first, then the slot list in FIFO order,
+// reproduces the old per-bucket append order. The heap breaks same-cycle
+// ties by push order.
 
-func (c *Core) schedule(d *dyn, at uint64) {
+// evtHeapEnt is one overflow event; seq is the push order for stable ties.
+type evtHeapEnt struct {
+	at  uint64
+	seq uint64
+	di  uint32
+}
+
+func (c *Core) schedule(di uint32, at uint64) {
 	if at <= c.cycle {
-		at = c.cycle // completes this cycle
-		c.completeOne(d)
+		c.completeOne(di) // completes this cycle
 		return
 	}
-	if c.events == nil {
-		c.events = make(map[uint64][]*dyn)
+	d := c.d(di)
+	d.evtPending = true
+	d.evtNext = noDyn
+	if at-c.cycle < wheelSize {
+		slot := at & wheelMask
+		if tail := c.evtTail[slot]; tail != noDyn {
+			c.d(tail).evtNext = di
+		} else {
+			c.evtHead[slot] = di
+		}
+		c.evtTail[slot] = di
+	} else {
+		c.evtHeapPush(evtHeapEnt{at: at, seq: c.evtHeapSeq, di: di})
+		c.evtHeapSeq++
 	}
-	c.events[at] = append(c.events[at], d)
 }
 
-// complete retires execution events due this cycle.
+// complete retires execution events due this cycle. Squashed records are
+// kept alive by their pending event (their arena slot must not be recycled
+// while the wheel links them) and are released here.
 func (c *Core) complete() {
-	evs, ok := c.events[c.cycle]
-	if !ok {
+	for len(c.evtHeap) > 0 && c.evtHeap[0].at <= c.cycle {
+		di := c.evtHeap[0].di
+		c.evtHeapPop()
+		c.fireEvent(di)
+	}
+	slot := c.cycle & wheelMask
+	di := c.evtHead[slot]
+	if di == noDyn {
 		return
 	}
-	delete(c.events, c.cycle)
-	for _, d := range evs {
-		c.completeOne(d)
+	c.evtHead[slot] = noDyn
+	c.evtTail[slot] = noDyn
+	for di != noDyn {
+		next := c.d(di).evtNext
+		c.fireEvent(di)
+		di = next
 	}
 }
 
-func (c *Core) completeOne(d *dyn) {
+func (c *Core) fireEvent(di uint32) {
+	d := c.d(di)
+	d.evtPending = false
+	if d.squashed {
+		c.freeDyn(di)
+		return
+	}
+	c.completeOne(di)
+}
+
+func (c *Core) completeOne(di uint32) {
+	d := c.d(di)
 	if d.squashed {
 		return
 	}
@@ -47,7 +96,7 @@ func (c *Core) completeOne(d *dyn) {
 	}
 
 	if in.IsBranch() {
-		c.resolveBranch(d)
+		c.resolveBranch(di)
 	}
 
 	if in.IsStore() {
@@ -63,7 +112,8 @@ func (c *Core) completeOne(d *dyn) {
 func (c *Core) checkViolations(st *dyn) {
 	word := st.in.Addr >> 3
 	var victim *dyn
-	for _, l := range c.lq {
+	for _, li := range c.lq {
+		l := c.d(li)
 		if l.seq() <= st.seq() || !l.issued || l.violation {
 			continue
 		}
@@ -91,7 +141,7 @@ func (c *Core) loadReady(d *dyn) uint64 {
 	extra := c.dtlb.Lookup(addr)
 
 	for i := len(c.sq) - 1; i >= 0; i-- {
-		s := c.sq[i]
+		s := c.d(c.sq[i])
 		if s.seq() >= d.seq() {
 			continue
 		}
@@ -107,3 +157,12 @@ func (c *Core) loadReady(d *dyn) uint64 {
 	}
 	return c.l1d.AccessPC(addr, d.in.PC, c.cycle+extra, false, false)
 }
+
+// evtHeap: a binary min-heap (heap.go) ordered by (cycle, push order).
+
+func evtHeapLess(a, b evtHeapEnt) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+func (c *Core) evtHeapPush(e evtHeapEnt) { c.evtHeap = heapPush(c.evtHeap, e, evtHeapLess) }
+func (c *Core) evtHeapPop()              { c.evtHeap = heapPop(c.evtHeap, evtHeapLess) }

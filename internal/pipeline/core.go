@@ -53,7 +53,7 @@ type port struct {
 // distance-predicted (or training) instruction, performing the 64-bit
 // compare.
 type valUop struct {
-	owner   *dyn
+	owner   uint32 // arena index of the owning instruction
 	readyAt uint64 // max(own result, shared register)
 	port    int    // fixed port (same-FU policy) or -1 (any port)
 }
@@ -77,8 +77,9 @@ type Core struct {
 	bp           *branch.Predictor
 	l1i          *cache.Cache
 	itlb         *cache.TLB
-	fetchQ       []*dyn
-	fetchBlocked *dyn // mispredicted branch stalling fetch until resolve
+	fetchQ       []uint32
+	fqHead       int
+	fetchBlocked uint32 // mispredicted branch stalling fetch until resolve (noDyn if none)
 	fetchResume  uint64
 	lastLine     uint64
 	srcDone      bool
@@ -90,12 +91,12 @@ type Core struct {
 	epochs []uint32
 	ring   []ringEnt // rename-side FIFO of recent result producers
 
-	// Backend.
-	rob     []*dyn
+	// Backend. All instruction queues hold arena indices (see arena.go).
+	rob     []uint32
 	robHead int
-	iq      []*dyn
-	lq      []*dyn
-	sq      []*dyn
+	iq      []uint32
+	lq      []uint32
+	sq      []uint32
 	ports   []port
 	valQ    []valUop
 
@@ -124,11 +125,27 @@ type Core struct {
 	valCount   map[uint64]int
 	valWritten []bool
 
-	// Execution completion events, bucketed by cycle.
-	events map[uint64][]*dyn
+	// Dyn arena and free list (arena.go).
+	darena  []dyn
+	dynFree []uint32
 
-	// Free list of dyn records (reduces allocation churn).
-	dynPool []*dyn
+	// Completion event wheel plus overflow heap (complete.go).
+	evtHead    [wheelSize]uint32
+	evtTail    [wheelSize]uint32
+	evtHeap    []evtHeapEnt
+	evtHeapSeq uint64
+
+	// Wakeup scheduling (wakeup.go).
+	readyList   []uint32 // dispatched, ready, unissued — sorted by seq
+	readyStale  bool     // readyList has entries to compact
+	wakeSlots   [wheelSize][]wakeRef
+	wakeHeap    []wakeHeapEnt
+	memSleepers []wakeRef // loads waiting on an unissued dependence store
+	regWaitBuf  []uint64  // scratch for draining register waiter lists
+	iqLeft      bool      // an entry left the IQ this cycle; compact it
+
+	// Scratch for deferred frees during a squash.
+	freeScratch []uint32
 
 	committedTarget uint64
 
@@ -141,15 +158,23 @@ type Core struct {
 func New(cfg *config.Config, src trace.Source) *Core {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	c := &Core{
-		cfg: cfg,
-		src: trace.NewReplay(src),
-		rng: rng,
-		bp:  branch.New(rng),
-		rat: regfile.NewRAT(uarch.NumArchRegs),
-		prf: regfile.NewFile(cfg.IntPRegs, cfg.FPPRegs),
-		ss:  storeset.New(cfg.SSITEntries, cfg.LFSTEntries),
+		cfg:          cfg,
+		src:          trace.NewReplay(src),
+		rng:          rng,
+		bp:           branch.New(rng),
+		rat:          regfile.NewRAT(uarch.NumArchRegs),
+		prf:          regfile.NewFile(cfg.IntPRegs, cfg.FPPRegs),
+		ss:           storeset.New(cfg.SSITEntries, cfg.LFSTEntries),
+		fetchBlocked: noDyn,
 	}
 	c.epochs = make([]uint32, c.prf.Size())
+	for i := range c.evtHead {
+		c.evtHead[i] = noDyn
+		c.evtTail[i] = noDyn
+	}
+	// Size the arena for the steady-state inflight window (ROB + front-end
+	// queue); squash-stranded records with pending events can still grow it.
+	c.darena = make([]dyn, 0, cfg.ROBSize+cfg.FetchQueue+64)
 
 	// Initial architectural mappings.
 	for a := 0; a < uarch.NumArchRegs; a++ {
@@ -289,7 +314,7 @@ func (c *Core) Run(n uint64) uint64 {
 		c.step()
 		if c.stats.Committed == before {
 			idle++
-			if c.srcDone && len(c.rob) == c.robHead && len(c.fetchQ) == 0 {
+			if c.srcDone && len(c.rob) == c.robHead && len(c.fetchQ) == c.fqHead {
 				break
 			}
 			if idle > 1_000_000 {
@@ -325,49 +350,35 @@ func (c *Core) finishStats() {
 	c.stats.BranchMispredicts = c.bp.CondMispredicts
 }
 
-// newDyn takes a record from the pool.
-func (c *Core) newDyn(in uarch.Inst) *dyn {
-	var d *dyn
-	if n := len(c.dynPool); n > 0 {
-		d = c.dynPool[n-1]
-		c.dynPool = c.dynPool[:n-1]
-		*d = dyn{}
-	} else {
-		d = &dyn{}
-	}
-	d.in = in
-	d.archDest = -1
-	if in.HasDest() {
-		d.archDest = int(in.Dst)
-	}
-	d.dstPreg = regfile.PRegNone
-	d.oldPreg = regfile.PRegNone
-	d.providerPreg = regfile.PRegNone
-	d.port = -1
-	return d
-}
-
-func (c *Core) freeDyn(d *dyn) { c.dynPool = append(c.dynPool, d) }
-
 // robLen reports the occupancy of the ROB.
 func (c *Core) robLen() int { return len(c.rob) - c.robHead }
+
+// fqLen reports the occupancy of the fetch queue.
+func (c *Core) fqLen() int { return len(c.fetchQ) - c.fqHead }
 
 func (c *Core) deadlockState() string {
 	if c.robHead >= len(c.rob) {
 		return fmt.Sprintf("rob empty, fetchQ=%d blocked=%v resume=%d cycle=%d srcDone=%v",
-			len(c.fetchQ), c.fetchBlocked != nil, c.fetchResume, c.cycle, c.srcDone)
+			c.fqLen(), c.fetchBlocked != noDyn, c.fetchResume, c.cycle, c.srcDone)
 	}
-	d := c.rob[c.robHead]
-	return fmt.Sprintf("head seq=%d class=%v kind=%d issued=%v done=%v readyAt=%d needVal=%v valIssued=%v inIQ=%v nsrc=%d srcReady=[%d %d %d] provider=p%d provReady=%d cycle=%d iq=%d valQ=%d",
+	d := c.d(c.rob[c.robHead])
+	return fmt.Sprintf("head seq=%d class=%v kind=%d issued=%v done=%v readyAt=%d needVal=%v valIssued=%v inIQ=%v wstate=%d nsrc=%d srcReady=[%d %d %d] provider=p%d provReady=%d cycle=%d iq=%d valQ=%d ready=%d",
 		d.seq(), d.in.Class, d.kind, d.issued, d.done, d.readyAt, d.needValUop, d.valUopIssued,
-		d.inIQ, d.nsrc,
+		d.inIQ, d.wstate, d.nsrc,
 		c.prf.ReadyAt(d.srcPregs[0]), c.prf.ReadyAt(d.srcPregs[1]), c.prf.ReadyAt(d.srcPregs[2]),
-		d.providerPreg, c.prf.ReadyAt(d.providerPreg), c.cycle, len(c.iq), len(c.valQ))
+		d.providerPreg, c.prf.ReadyAt(d.providerPreg), c.cycle, len(c.iq), len(c.valQ), len(c.readyList))
 }
 
 func (c *Core) robCompact() {
 	if c.robHead > 4096 || c.robHead == len(c.rob) {
 		c.rob = append(c.rob[:0], c.rob[c.robHead:]...)
 		c.robHead = 0
+	}
+}
+
+func (c *Core) fqCompact() {
+	if c.fqHead > 4096 || c.fqHead == len(c.fetchQ) {
+		c.fetchQ = append(c.fetchQ[:0], c.fetchQ[c.fqHead:]...)
+		c.fqHead = 0
 	}
 }

@@ -79,6 +79,15 @@ type dyn struct {
 	depStoreSeq uint64
 
 	squashed bool
+
+	// Scheduling state (see wakeup.go). wstate says where this record
+	// currently lives in the wakeup machinery; wakeToken invalidates stale
+	// wheel/waiter references after a squash or arena-slot reuse; evtNext
+	// links the record into its completion-wheel slot.
+	wstate     uint8
+	wakeToken  uint32
+	evtPending bool
+	evtNext    uint32
 }
 
 func (d *dyn) seq() uint64 { return d.in.Seq }

@@ -15,12 +15,12 @@ import (
 // penalty (the same wall-clock the wrong path would waste), which is the
 // standard trace-driven approximation.
 func (c *Core) fetch() {
-	if c.srcDone || c.fetchBlocked != nil || c.cycle < c.fetchResume {
+	if c.srcDone || c.fetchBlocked != noDyn || c.cycle < c.fetchResume {
 		return
 	}
 	taken := 0
 	for i := 0; i < c.cfg.FetchWidth; i++ {
-		if len(c.fetchQ) >= c.cfg.FetchQueue {
+		if c.fqLen() >= c.cfg.FetchQueue {
 			return
 		}
 		in, ok := c.src.Next()
@@ -44,14 +44,15 @@ func (c *Core) fetch() {
 			}
 		}
 
-		d := c.newDyn(in)
+		di := c.newDyn(in)
+		d := c.d(di)
 		d.renameReady = c.cycle + uint64(c.cfg.FrontendDepth)
 
 		if in.IsBranch() {
 			c.fetchBranch(d)
-			c.fetchQ = append(c.fetchQ, d)
+			c.fetchQ = append(c.fetchQ, di)
 			if d.brMispred {
-				c.fetchBlocked = d
+				c.fetchBlocked = di
 				return
 			}
 			if d.brPred.Taken {
@@ -85,7 +86,7 @@ func (c *Core) fetch() {
 				d.vpLkValid = true
 			}
 		}
-		c.fetchQ = append(c.fetchQ, d)
+		c.fetchQ = append(c.fetchQ, di)
 	}
 }
 
@@ -133,7 +134,8 @@ func (c *Core) fetchBranch(d *dyn) {
 
 // resolveBranch is called when a branch finishes executing: train the
 // predictor and, on a mispredict, repair histories and release fetch.
-func (c *Core) resolveBranch(d *dyn) {
+func (c *Core) resolveBranch(di uint32) {
+	d := c.d(di)
 	c.bp.Resolve(&d.in, &d.brPred, d.brMispred)
 	if !d.brMispred {
 		return
@@ -149,8 +151,8 @@ func (c *Core) resolveBranch(d *dyn) {
 		c.vpHist.Restore(d.vpSnap)
 		c.vpHist.Push(d.in.PC, dir)
 	}
-	if c.fetchBlocked == d {
-		c.fetchBlocked = nil
+	if c.fetchBlocked == di {
+		c.fetchBlocked = noDyn
 		c.fetchResume = d.readyAt + 1
 	}
 }

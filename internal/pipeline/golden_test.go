@@ -1,0 +1,64 @@
+package pipeline
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rsepsim/internal/config"
+	"rsepsim/internal/rsep"
+	"rsepsim/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden stats snapshots")
+
+// TestGoldenStats pins the full metrics.Stats of two representative runs to
+// on-disk snapshots taken before the data-oriented core rewrite. Any change
+// to scheduling, completion ordering or squash handling that alters a single
+// counter fails this test — the cheap local proxy for the CI byte-identity
+// check on the figure tables. Regenerate deliberately with `go test -run
+// TestGoldenStats -update ./internal/pipeline`.
+func TestGoldenStats(t *testing.T) {
+	cases := []struct {
+		name  string
+		bench string
+		cfg   *config.Config
+	}{
+		// Baseline exercises the plain scheduler and memory system;
+		// the realistic-RSEP run exercises sharing, validation µ-ops,
+		// sampling and mispredict squashes.
+		{"mcf-baseline", "mcf", config.TableI()},
+		{"hmmer-rsep-realistic", "hmmer", config.TableI().WithRSEP(rsep.Realistic())},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			core := New(tc.cfg, workload.New(workload.MustByName(tc.bench), 7))
+			core.Run(20_000)
+			core.ResetStats()
+			core.Run(60_000)
+			var buf bytes.Buffer
+			if err := core.Stats().EncodeJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.name+".golden.json")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("stats diverge from pre-refactor golden\n got: %s\nwant: %s", buf.Bytes(), want)
+			}
+		})
+	}
+}

@@ -1,0 +1,45 @@
+package pipeline
+
+// Shared binary min-heap maintenance for the two overflow heaps (completion
+// events and timed wakes). Hand-rolled rather than container/heap so the
+// elements stay flat values — no interface boxing, no per-op allocation; the
+// heaps only hold events beyond the wheels' horizon, so the comparator
+// indirection is off the hot path.
+
+func heapPush[T any](h []T, e T, less func(a, b T) bool) []T {
+	h = append(h, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(h[i], h[parent]) {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	return h
+}
+
+// heapPop removes the minimum element h[0].
+func heapPop[T any](h []T, less func(a, b T) bool) []T {
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && less(h[l], h[small]) {
+			small = l
+		}
+		if r < n && less(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return h
+}

@@ -57,8 +57,13 @@ var anyFUOrder = []int{9, 4, 5, 6, 0, 1, 2, 3, 7, 8}
 
 // issue selects up to IssueWidth operations per cycle: pending validation
 // µ-ops first (the picker prioritises them, §IV-F1), then ready instructions
-// oldest-first onto compatible free ports.
+// oldest-first onto compatible free ports. Instead of rescanning the whole
+// IQ, the scan covers only the ready list maintained by the wakeup machinery
+// (wakeup.go); a ready instruction losing a port conflict stays listed and
+// retries next cycle.
 func (c *Core) issue() {
+	c.drainWakes()
+
 	issued := 0
 	width := c.cfg.IssueWidth
 
@@ -92,15 +97,23 @@ func (c *Core) issue() {
 			c.ports[p].busyUntil = c.cycle + 1
 			issued++
 			c.stats.ValidationUops++
-			uop.owner.valUopIssued = true
+			c.d(uop.owner).valUopIssued = true
+			c.iqLeft = true // the owner may leave its retained entry
 		}
 		c.valQ = rest
 	}
 
-	// Main scheduler scan, oldest first.
-	for _, d := range c.iq {
+	// Ready-list scan, oldest first (the list is seq-sorted). Same-cycle
+	// insertions from a producer's issueOne are always younger than the
+	// entry being scanned, so they land beyond the current position.
+	for i := 0; i < len(c.readyList); i++ {
 		if issued >= width {
 			break
+		}
+		di := c.readyList[i]
+		d := c.d(di)
+		if d.wstate != wReady {
+			continue // issued earlier in this scan
 		}
 		if d.issued || !c.readyToIssue(d) {
 			continue
@@ -109,31 +122,67 @@ func (c *Core) issue() {
 		if p < 0 {
 			continue
 		}
-		c.issueOne(d, p)
+		c.issueOne(di, p)
 		issued++
+		d.wstate = wNone
+		c.readyStale = true
+	}
+	if c.readyStale {
+		keep := c.readyList[:0]
+		for _, di := range c.readyList {
+			if c.d(di).wstate == wReady {
+				keep = append(keep, di)
+			}
+		}
+		c.readyList = keep
+		c.readyStale = false
 	}
 
-	// Compact the scheduler: entries leave when issued, except that
-	// instructions carrying a validation µ-op retain their entry until
-	// the µ-op issues (§IV-F1b: "must retain their scheduler entry for
-	// at least an additional cycle").
-	keep := c.iq[:0]
-	for _, d := range c.iq {
-		if d.issued && (!d.needValUop || d.valUopIssued) {
-			d.inIQ = false
-			continue
+	// Compact the scheduler only when an entry actually left: entries leave
+	// when issued, except that instructions carrying a validation µ-op
+	// retain their entry until the µ-op issues (§IV-F1b: "must retain their
+	// scheduler entry for at least an additional cycle").
+	if c.iqLeft {
+		keep := c.iq[:0]
+		for _, di := range c.iq {
+			d := c.d(di)
+			if d.issued && (!d.needValUop || d.valUopIssued) {
+				d.inIQ = false
+				continue
+			}
+			keep = append(keep, di)
 		}
-		keep = append(keep, d)
+		c.iq = keep
+		c.iqLeft = false
 	}
-	c.iq = keep
 }
 
-// readyToIssue checks operand readiness, the RSEP validation dependency and
-// memory-dependence discipline.
-func (c *Core) readyToIssue(d *dyn) bool {
+// Blocking conditions reported by firstBlocker.
+type blockKind uint8
+
+const (
+	blockNone  blockKind = iota
+	blockTimed           // clears at a known cycle
+	blockReg             // clears when a register's ready cycle is announced
+	blockStore           // clears when the dependence store issues
+)
+
+// firstBlocker returns the first condition blocking d this cycle, checking
+// operand readiness, the RSEP validation dependency and memory-dependence
+// discipline in a fixed order. It is the single definition both the issue
+// gate (readyToIssue) and the wakeup classifier (evalWait) derive from — a
+// condition known here but not there would strand entries in the ready
+// list, or worse, never wake them.
+//
+// For blockTimed the clearing cycle comes back in `at`; for blockReg the
+// register to park on comes back in `p`.
+func (c *Core) firstBlocker(d *dyn) (kind blockKind, at uint64, p regfile.PReg) {
 	for i := 0; i < d.nsrc; i++ {
-		if c.prf.ReadyAt(d.srcPregs[i]) > c.cycle {
-			return false
+		if t := c.prf.ReadyAt(d.srcPregs[i]); t > c.cycle {
+			if t == regfile.NotReady {
+				return blockReg, 0, d.srcPregs[i]
+			}
+			return blockTimed, t, regfile.PRegNone
 		}
 	}
 	// §IV-F1: under a real validation mechanism the predicted instruction
@@ -144,21 +193,36 @@ func (c *Core) readyToIssue(d *dyn) bool {
 	// they then compare against whatever occupies it, without waiting.
 	if d.needValUop && d.providerValid && d.providerPreg != regfile.ZeroPReg &&
 		c.epochs[d.providerPreg] == d.providerEpoch {
-		if c.prf.ReadyAt(d.providerPreg) > c.cycle {
-			return false
+		if t := c.prf.ReadyAt(d.providerPreg); t > c.cycle {
+			if t == regfile.NotReady {
+				return blockReg, 0, d.providerPreg
+			}
+			return blockTimed, t, regfile.PRegNone
 		}
 	}
 	if d.in.IsLoad() && d.hasDepStore {
-		for _, s := range c.sq {
+		for _, si := range c.sq {
+			s := c.d(si)
 			if s.seq() == d.depStoreSeq {
 				if !s.done {
-					return false
+					if s.issued {
+						// Completes (and is marked done) at readyAt,
+						// before that cycle's issue stage runs.
+						return blockTimed, s.readyAt, regfile.PRegNone
+					}
+					return blockStore, 0, regfile.PRegNone
 				}
 				break
 			}
 		}
 	}
-	return true
+	return blockNone, 0, regfile.PRegNone
+}
+
+// readyToIssue reports whether nothing blocks d this cycle.
+func (c *Core) readyToIssue(d *dyn) bool {
+	kind, _, _ := c.firstBlocker(d)
+	return kind == blockNone
 }
 
 func (c *Core) pickPort(d *dyn) int {
@@ -181,10 +245,12 @@ func (c *Core) pickPort(d *dyn) int {
 	return -1
 }
 
-func (c *Core) issueOne(d *dyn, p int) {
+func (c *Core) issueOne(di uint32, p int) {
+	d := c.d(di)
 	d.issued = true
 	d.port = p
 	d.issueCycle = c.cycle
+	c.iqLeft = true
 	busy := c.cycle + 1
 
 	var readyAt uint64
@@ -213,12 +279,17 @@ func (c *Core) issueOne(d *dyn, p int) {
 	// Destination readiness: only freshly allocated, non-value-predicted
 	// registers become ready through execution. Shared (RSEP) and zero
 	// registers follow their producer; value-predicted registers were
-	// ready at rename.
+	// ready at rename. Announcing the cycle wakes consumers parked on this
+	// register; loads parked on a dependence store re-park for readyAt.
 	if d.alloc && d.kind != predValuePred {
 		c.prf.SetReadyAt(d.dstPreg, readyAt)
+		c.drainRegWaiters(d.dstPreg)
+	}
+	if d.in.IsStore() {
+		c.wakeStoreSleepers(d.seq())
 	}
 
-	c.schedule(d, readyAt)
+	c.schedule(di, readyAt)
 
 	// Validation µ-op (§IV-F): issued once the result (and the shared
 	// register, guaranteed ready at issue by the extra dependency) is
@@ -229,6 +300,6 @@ func (c *Core) issueOne(d *dyn, p int) {
 		if c.rsepCfg != nil && c.rsepCfg.Validation == rsep.ValidateIssue2xSameFU {
 			uport = p
 		}
-		c.valQ = append(c.valQ, valUop{owner: d, readyAt: readyAt, port: uport})
+		c.valQ = append(c.valQ, valUop{owner: di, readyAt: readyAt, port: uport})
 	}
 }

@@ -11,8 +11,9 @@ import (
 // (RSEP), zero prediction, value prediction.
 func (c *Core) rename() {
 	width := c.cfg.RenameWidth
-	for n := 0; n < width && len(c.fetchQ) > 0; n++ {
-		d := c.fetchQ[0]
+	for n := 0; n < width && c.fqLen() > 0; n++ {
+		di := c.fetchQ[c.fqHead]
+		d := c.d(di)
 		if d.renameReady > c.cycle {
 			return
 		}
@@ -169,7 +170,8 @@ func (c *Core) rename() {
 		}
 
 		// Commit the rename.
-		c.fetchQ = c.fetchQ[1:]
+		c.fqHead++
+		c.fqCompact()
 		if in.HasDest() {
 			d.oldPreg = c.rat.Set(d.archDest, d.dstPreg)
 		}
@@ -189,7 +191,7 @@ func (c *Core) rename() {
 		}
 
 		if needsIQ {
-			c.iq = append(c.iq, d)
+			c.iq = append(c.iq, di)
 			d.inIQ = true
 		} else {
 			d.done = true
@@ -198,15 +200,23 @@ func (c *Core) rename() {
 
 		// LSQ entries and store-set discipline.
 		if in.IsLoad() {
-			c.lq = append(c.lq, d)
+			c.lq = append(c.lq, di)
 			if seq, ok := c.ss.LoadDependence(in.PC); ok {
 				d.hasDepStore = true
 				d.depStoreSeq = seq
 			}
 		}
 		if in.IsStore() {
-			c.sq = append(c.sq, d)
+			c.sq = append(c.sq, di)
 			c.ss.StoreRename(in.PC, in.Seq)
+		}
+
+		// Hand the dispatched entry to the wakeup machinery: it either
+		// joins the ready list or parks on its first blocking condition.
+		// Must follow the LSQ bookkeeping above (the dependence-store
+		// check walks the store queue).
+		if needsIQ {
+			c.evalWait(di)
 		}
 
 		// Rename-side FIFO of result producers (the paper's dedicated
@@ -223,7 +233,7 @@ func (c *Core) rename() {
 			}
 		}
 
-		c.rob = append(c.rob, d)
+		c.rob = append(c.rob, di)
 	}
 }
 

@@ -6,38 +6,55 @@ package pipeline
 // equivalent of the paper's checkpoint restore), the front end redirects,
 // and the replay buffer rewinds so the same dynamic instructions stream out
 // again.
+//
+// Arena bookkeeping: squashed records are freed here unless the completion
+// wheel still links them (a pending event), in which case the event drain
+// frees them; frees are deferred to the end so every queue filter and the
+// history restore still read valid records. Bumping each squashed record's
+// wake token voids whatever wheel or waiter-list references remain.
 func (c *Core) squashFrom(seq uint64) {
 	c.stats.Squashes++
 
-	var oldestBranch *dyn
+	oldestBranch := noDyn
+	c.freeScratch = c.freeScratch[:0]
 
 	// Front-end queue: everything there is younger than anything renamed.
+	// Records here were never issued, so none has a pending event.
 	keepFQ := c.fetchQ[:0]
-	for _, d := range c.fetchQ {
+	for _, di := range c.fetchQ[c.fqHead:] {
+		d := c.d(di)
 		if d.seq() >= seq {
 			d.squashed = true
-			if d.in.IsBranch() && (oldestBranch == nil || d.seq() < oldestBranch.seq()) {
-				oldestBranch = d
+			invalidateWakes(d)
+			if d.in.IsBranch() && (oldestBranch == noDyn || d.seq() < c.d(oldestBranch).seq()) {
+				oldestBranch = di
 			}
 			if c.vp != nil && d.vpLkValid {
 				c.vp.Squash(&d.vpLk)
 			}
+			c.freeScratch = append(c.freeScratch, di)
 			continue
 		}
-		keepFQ = append(keepFQ, d)
+		keepFQ = append(keepFQ, di)
 	}
 	c.fetchQ = keepFQ
+	c.fqHead = 0
 
 	// ROB walk-back, youngest first.
 	cut := len(c.rob)
-	for cut > c.robHead && c.rob[cut-1].seq() >= seq {
+	for cut > c.robHead && c.d(c.rob[cut-1]).seq() >= seq {
 		cut--
 	}
 	for i := len(c.rob) - 1; i >= cut; i-- {
-		d := c.rob[i]
+		di := c.rob[i]
+		d := c.d(di)
 		d.squashed = true
-		if d.in.IsBranch() && (oldestBranch == nil || d.seq() < oldestBranch.seq()) {
-			oldestBranch = d
+		invalidateWakes(d)
+		if !d.evtPending {
+			c.freeScratch = append(c.freeScratch, di)
+		}
+		if d.in.IsBranch() && (oldestBranch == noDyn || d.seq() < c.d(oldestBranch).seq()) {
+			oldestBranch = di
 		}
 		if c.vp != nil && d.vpLkValid {
 			c.vp.Squash(&d.vpLk)
@@ -57,35 +74,42 @@ func (c *Core) squashFrom(seq uint64) {
 	}
 	c.rob = c.rob[:cut]
 
-	// Scheduler and LSQ.
+	// Scheduler, LSQ and ready list.
 	keepIQ := c.iq[:0]
-	for _, d := range c.iq {
-		if !d.squashed {
-			keepIQ = append(keepIQ, d)
+	for _, di := range c.iq {
+		if !c.d(di).squashed {
+			keepIQ = append(keepIQ, di)
 		}
 	}
 	c.iq = keepIQ
 	keepLQ := c.lq[:0]
-	for _, d := range c.lq {
-		if !d.squashed {
-			keepLQ = append(keepLQ, d)
+	for _, di := range c.lq {
+		if !c.d(di).squashed {
+			keepLQ = append(keepLQ, di)
 		}
 	}
 	c.lq = keepLQ
 	keepSQ := c.sq[:0]
-	for _, d := range c.sq {
-		if !d.squashed {
-			keepSQ = append(keepSQ, d)
+	for _, di := range c.sq {
+		if !c.d(di).squashed {
+			keepSQ = append(keepSQ, di)
 		}
 	}
 	c.sq = keepSQ
 	keepVQ := c.valQ[:0]
 	for _, u := range c.valQ {
-		if !u.owner.squashed {
+		if !c.d(u.owner).squashed {
 			keepVQ = append(keepVQ, u)
 		}
 	}
 	c.valQ = keepVQ
+	keepRL := c.readyList[:0]
+	for _, di := range c.readyList {
+		if c.d(di).wstate == wReady {
+			keepRL = append(keepRL, di)
+		}
+	}
+	c.readyList = keepRL
 
 	// Rename-side producer FIFO rollback.
 	cutR := len(c.ring)
@@ -97,18 +121,19 @@ func (c *Core) squashFrom(seq uint64) {
 	// Speculative history repair: rewind to the state just before the
 	// oldest squashed branch was predicted. If no branch was squashed,
 	// no history bits were pushed after seq and nothing needs repair.
-	if oldestBranch != nil && oldestBranch.hasSnaps {
-		c.bp.RestoreFrom(&oldestBranch.brPred)
+	if oldestBranch != noDyn && c.d(oldestBranch).hasSnaps {
+		ob := c.d(oldestBranch)
+		c.bp.RestoreFrom(&ob.brPred)
 		if c.distHist != nil {
-			c.distHist.Restore(oldestBranch.distSnap)
+			c.distHist.Restore(ob.distSnap)
 		}
 		if c.vpHist != nil {
-			c.vpHist.Restore(oldestBranch.vpSnap)
+			c.vpHist.Restore(ob.vpSnap)
 		}
 	}
 
-	if c.fetchBlocked != nil && c.fetchBlocked.squashed {
-		c.fetchBlocked = nil
+	if c.fetchBlocked != noDyn && c.d(c.fetchBlocked).squashed {
+		c.fetchBlocked = noDyn
 	}
 
 	// Redirect: refetch from seq. The refill delay is modelled by the
@@ -118,5 +143,10 @@ func (c *Core) squashFrom(seq uint64) {
 	c.lastLine = 0
 	if c.fetchResume < c.cycle+1 {
 		c.fetchResume = c.cycle + 1
+	}
+
+	// All queues are consistent again; recycle the flushed records.
+	for _, di := range c.freeScratch {
+		c.freeDyn(di)
 	}
 }

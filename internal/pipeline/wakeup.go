@@ -1,0 +1,216 @@
+package pipeline
+
+// Wakeup-driven scheduling. Instead of rescanning the whole issue queue
+// every cycle, each dispatched instruction is parked on the single condition
+// currently blocking it and only enters the ready list once every condition
+// has cleared:
+//
+//   - a source (or RSEP validation provider) register with a known ready
+//     cycle parks on the timed wake wheel for that cycle;
+//   - a register whose producer has not issued yet (ReadyAt == NotReady)
+//     parks on that register's waiter list, drained when the producer's
+//     issueOne announces the ready cycle via SetReadyAt;
+//   - a load ordered behind an unissued store (store-set dependence) parks
+//     in memSleepers, drained when that store issues.
+//
+// All blocking conditions are monotone — a register's ready cycle is set
+// once per allocation and never moved, a completed store never becomes
+// incomplete, and the provider-epoch guard can only lapse — so an entry
+// admitted to the ready list stays ready and the admission filter never
+// misses the first cycle an entry could issue. That is the property that
+// keeps the rewritten scheduler bit-identical to the full rescan. Entries in
+// the ready list are scanned oldest-first (the list is kept sorted by
+// sequence number, the dispatch order the old scan iterated in) and stay
+// listed across port conflicts.
+//
+// Wake references carry a per-record token; squashes and arena-slot reuse
+// bump the token, turning any reference still queued in a wheel or waiter
+// list into a no-op.
+
+import "rsepsim/internal/regfile"
+
+// Wakeup states: where a dispatched, unissued instruction currently lives.
+const (
+	wNone  uint8 = iota // not in the wakeup machinery (undispatched or issued)
+	wReady              // in readyList
+	wTimed              // in the wake wheel / overflow heap
+	wReg                // in a register waiter list
+	wStore              // in memSleepers, waiting for a store to issue
+)
+
+// The wheels cover this many cycles ahead; anything further (DRAM fills
+// behind queueing delays) overflows into a small heap.
+const (
+	wheelSize = 1 << 10
+	wheelMask = wheelSize - 1
+)
+
+type wakeRef struct{ idx, token uint32 }
+
+func packWakeRef(r wakeRef) uint64   { return uint64(r.idx)<<32 | uint64(r.token) }
+func unpackWakeRef(v uint64) wakeRef { return wakeRef{uint32(v >> 32), uint32(v)} }
+
+type wakeHeapEnt struct {
+	at  uint64
+	ref wakeRef
+}
+
+// evalWait classifies a dispatched instruction via firstBlocker (the same
+// predicate the issue gate uses): either it is ready (enters readyList) or
+// it parks on the first blocking condition. Called at dispatch and on every
+// wake.
+func (c *Core) evalWait(di uint32) {
+	kind, at, p := c.firstBlocker(c.d(di))
+	switch kind {
+	case blockNone:
+		c.pushReady(di)
+	case blockTimed:
+		c.wakeAt(di, at)
+	case blockReg:
+		c.sleepOnReg(di, p)
+	case blockStore:
+		c.sleepOnStore(di)
+	}
+}
+
+// pushReady inserts di into the ready list, keeping it sorted by sequence
+// number so the issue scan remains oldest-first.
+func (c *Core) pushReady(di uint32) {
+	d := c.d(di)
+	d.wstate = wReady
+	d.wakeToken++
+	seq := d.seq()
+	lo, hi := 0, len(c.readyList)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.d(c.readyList[mid]).seq() < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	c.readyList = append(c.readyList, 0)
+	copy(c.readyList[lo+1:], c.readyList[lo:])
+	c.readyList[lo] = di
+}
+
+// wakeAt parks di until the given cycle.
+func (c *Core) wakeAt(di uint32, at uint64) {
+	if at <= c.cycle {
+		c.pushReady(di)
+		return
+	}
+	d := c.d(di)
+	d.wstate = wTimed
+	d.wakeToken++
+	ref := wakeRef{di, d.wakeToken}
+	if at-c.cycle < wheelSize {
+		slot := at & wheelMask
+		c.wakeSlots[slot] = append(c.wakeSlots[slot], ref)
+	} else {
+		c.wakeHeapPush(wakeHeapEnt{at: at, ref: ref})
+	}
+}
+
+// sleepOnReg parks di until SetReadyAt announces p's ready cycle.
+func (c *Core) sleepOnReg(di uint32, p regfile.PReg) {
+	d := c.d(di)
+	d.wstate = wReg
+	d.wakeToken++
+	c.prf.AddWaiter(p, packWakeRef(wakeRef{di, d.wakeToken}))
+}
+
+// sleepOnStore parks di (a load) until its dependence store issues.
+func (c *Core) sleepOnStore(di uint32) {
+	d := c.d(di)
+	d.wstate = wStore
+	d.wakeToken++
+	c.memSleepers = append(c.memSleepers, wakeRef{di, d.wakeToken})
+}
+
+// tryWake re-evaluates a parked instruction, ignoring stale references.
+func (c *Core) tryWake(ref wakeRef) {
+	d := c.d(ref.idx)
+	if d.wakeToken != ref.token {
+		return
+	}
+	switch d.wstate {
+	case wTimed, wReg, wStore:
+	default:
+		return
+	}
+	d.wstate = wNone
+	c.evalWait(ref.idx)
+}
+
+// drainWakes moves every instruction whose wake cycle has arrived into the
+// ready list. Runs at the top of issue(). Heap entries first: they were
+// scheduled further in advance than any wheel entry for the same cycle.
+func (c *Core) drainWakes() {
+	for len(c.wakeHeap) > 0 && c.wakeHeap[0].at <= c.cycle {
+		ref := c.wakeHeap[0].ref
+		c.wakeHeapPop()
+		c.tryWake(ref)
+	}
+	slot := c.cycle & wheelMask
+	refs := c.wakeSlots[slot]
+	if len(refs) == 0 {
+		return
+	}
+	// A re-park from tryWake targets a strictly future cycle, which maps to
+	// this slot only at cycle+wheelSize — routed to the heap — so iterating
+	// the drained slice is safe.
+	c.wakeSlots[slot] = refs[:0]
+	for _, ref := range refs {
+		c.tryWake(ref)
+	}
+}
+
+// drainRegWaiters re-evaluates every instruction parked on p. Called right
+// after SetReadyAt(p) in issueOne; the woken entries re-park on the timed
+// wheel for the announced cycle.
+func (c *Core) drainRegWaiters(p regfile.PReg) {
+	c.regWaitBuf = c.prf.TakeWaiters(p, c.regWaitBuf[:0])
+	for _, v := range c.regWaitBuf {
+		c.tryWake(unpackWakeRef(v))
+	}
+}
+
+// wakeStoreSleepers re-evaluates loads parked on the store with the given
+// sequence number, when that store issues. The woken loads re-park on the
+// timed wheel for the store's completion cycle (they never re-enter
+// memSleepers, so the in-place filter is safe); stale references are
+// dropped.
+func (c *Core) wakeStoreSleepers(storeSeq uint64) {
+	if len(c.memSleepers) == 0 {
+		return
+	}
+	keep := c.memSleepers[:0]
+	for _, ref := range c.memSleepers {
+		d := c.d(ref.idx)
+		if d.wakeToken != ref.token || d.wstate != wStore {
+			continue
+		}
+		if d.depStoreSeq == storeSeq {
+			d.wstate = wNone
+			c.evalWait(ref.idx)
+			continue
+		}
+		keep = append(keep, ref)
+	}
+	c.memSleepers = keep
+}
+
+// invalidateWakes voids any queued wake references to a squashed record.
+func invalidateWakes(d *dyn) {
+	d.wakeToken++
+	d.wstate = wNone
+}
+
+// wakeHeap: a binary min-heap (heap.go) on the wake cycle alone — drain
+// order within a cycle is immaterial here, the ready list re-sorts by seq.
+
+func wakeHeapLess(a, b wakeHeapEnt) bool { return a.at < b.at }
+
+func (c *Core) wakeHeapPush(e wakeHeapEnt) { c.wakeHeap = heapPush(c.wakeHeap, e, wakeHeapLess) }
+func (c *Core) wakeHeapPop()               { c.wakeHeap = heapPop(c.wakeHeap, wakeHeapLess) }

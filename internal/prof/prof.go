@@ -1,0 +1,54 @@
+// Package prof wires the -cpuprofile/-memprofile flags of the command-line
+// tools to runtime/pprof, so a slow figure sweep or simulation can be
+// profiled in place (`go tool pprof` on the written file) without rebuilding
+// anything as a test.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and arranges a heap profile at
+// memPath; either path may be empty to disable that profile. Both files are
+// created up front, so a bad path fails before any simulation work. The
+// returned stop function finishes both and must be called before the
+// process exits (defer it from main).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile, memFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	if memPath != "" {
+		memFile, err = os.Create(memPath)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memFile != nil {
+			defer memFile.Close()
+			runtime.GC() // materialise the live heap
+			if err := pprof.WriteHeapProfile(memFile); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
+}

@@ -27,10 +27,17 @@ const NotReady = ^uint64(0)
 
 // File is the physical register file plus free lists. Register 0 is the
 // hardwired zero register; integer registers follow, then FP registers.
+//
+// File also hosts readiness notification: per-register lists of opaque
+// waiter references, used by the pipeline's wakeup-driven scheduler to park
+// consumers of a register whose ready cycle is not yet known (NotReady). The
+// producer's issue drains the list via TakeWaiters when SetReadyAt announces
+// the cycle.
 type File struct {
 	vals    []uint64
 	readyAt []uint64
 	alloc   []bool
+	waiters [][]uint64
 
 	intFree []PReg
 	fpFree  []PReg
@@ -45,6 +52,7 @@ func NewFile(nInt, nFP int) *File {
 		vals:    make([]uint64, total),
 		readyAt: make([]uint64, total),
 		alloc:   make([]bool, total),
+		waiters: make([][]uint64, total),
 		fpStart: PReg(1 + nInt),
 	}
 	f.alloc[0] = true // zero register
@@ -71,6 +79,10 @@ func (f *File) Alloc(fp bool) (PReg, bool) {
 	*pool = (*pool)[:n-1]
 	f.alloc[p] = true
 	f.readyAt[p] = NotReady
+	// Any waiter reference still queued here belongs to the previous
+	// allocation of p and is dead by construction: a register is only
+	// freed after its producer issued, which drained the list.
+	f.waiters[p] = f.waiters[p][:0]
 	return p, true
 }
 
@@ -130,6 +142,24 @@ func (f *File) SetReadyAt(p PReg, cycle uint64) {
 	if p > ZeroPReg {
 		f.readyAt[p] = cycle
 	}
+}
+
+// AddWaiter parks an opaque waiter reference on p until its ready cycle is
+// announced. The reference format is the caller's business.
+func (f *File) AddWaiter(p PReg, ref uint64) {
+	f.waiters[p] = append(f.waiters[p], ref)
+}
+
+// TakeWaiters appends p's parked waiter references to dst, clears the list
+// (keeping its capacity) and returns dst.
+func (f *File) TakeWaiters(p PReg, dst []uint64) []uint64 {
+	w := f.waiters[p]
+	if len(w) == 0 {
+		return dst
+	}
+	dst = append(dst, w...)
+	f.waiters[p] = w[:0]
+	return dst
 }
 
 // Size reports the total number of physical registers (including the zero

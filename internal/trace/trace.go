@@ -35,13 +35,19 @@ func (l *limited) Next() (uarch.Inst, bool) {
 // until released (committed), bounding the buffer at roughly the inflight
 // window.
 //
+// The retained window lives in a power-of-two ring indexed by sequence
+// number, so Release is a pure head/size adjustment — amortized O(1), no
+// copying or reallocation per commit — and the storage is reused forever
+// once the ring has grown to the inflight window.
+//
 // Replay assigns the Seq field: sequence numbers are consecutive from 0.
 type Replay struct {
 	src Source
 
-	buf  []uarch.Inst
-	head uint64 // sequence number of buf[0]
-	pos  int    // next index within buf to deliver
+	ring []uarch.Inst // instruction with Seq s lives at ring[s&(len-1)]
+	head uint64       // sequence number of the oldest retained instruction
+	size int          // number of retained instructions
+	pos  int          // offset from head of the next instruction to deliver
 
 	nextSeq uint64
 	done    bool
@@ -50,10 +56,27 @@ type Replay struct {
 // NewReplay wraps src.
 func NewReplay(src Source) *Replay { return &Replay{src: src} }
 
+func (r *Replay) at(seq uint64) *uarch.Inst { return &r.ring[seq&uint64(len(r.ring)-1)] }
+
+// grow doubles the ring, re-placing the retained window under the new mask.
+func (r *Replay) grow() {
+	n := 2 * len(r.ring)
+	if n == 0 {
+		n = 256
+	}
+	fresh := make([]uarch.Inst, n)
+	mask := uint64(n - 1)
+	for i := 0; i < r.size; i++ {
+		s := r.head + uint64(i)
+		fresh[s&mask] = *r.at(s)
+	}
+	r.ring = fresh
+}
+
 // Next returns the next instruction to fetch (possibly a replayed one).
 func (r *Replay) Next() (uarch.Inst, bool) {
-	if r.pos < len(r.buf) {
-		in := r.buf[r.pos]
+	if r.pos < r.size {
+		in := *r.at(r.head + uint64(r.pos))
 		r.pos++
 		return in, true
 	}
@@ -67,15 +90,19 @@ func (r *Replay) Next() (uarch.Inst, bool) {
 	}
 	in.Seq = r.nextSeq
 	r.nextSeq++
-	r.buf = append(r.buf, in)
-	r.pos = len(r.buf)
+	if r.size == len(r.ring) {
+		r.grow()
+	}
+	*r.at(in.Seq) = in
+	r.size++
+	r.pos = r.size
 	return in, true
 }
 
 // RewindTo makes seq the next instruction delivered by Next. seq must still
 // be retained (not yet released).
 func (r *Replay) RewindTo(seq uint64) {
-	if seq < r.head || seq > r.head+uint64(len(r.buf)) {
+	if seq < r.head || seq > r.head+uint64(r.size) {
 		panic("trace: rewind outside retained window")
 	}
 	r.pos = int(seq - r.head)
@@ -94,10 +121,10 @@ func (r *Replay) Release(seq uint64) {
 	if n <= 0 {
 		return
 	}
-	r.buf = r.buf[n:]
 	r.head += uint64(n)
+	r.size -= n
 	r.pos -= n
 }
 
 // Retained reports the number of buffered instructions.
-func (r *Replay) Retained() int { return len(r.buf) }
+func (r *Replay) Retained() int { return r.size }
