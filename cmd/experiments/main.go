@@ -20,6 +20,12 @@
 //	experiments -fig all -v             # live per-job progress on stderr
 //	experiments -fig all -cache off     # in-memory cache only
 //	experiments -fig 6 -cache ro        # read shared results, write nothing
+//	experiments -fig all -cache-warm    # preload the memory tier from disk
+//	experiments -fig 6 -server http://localhost:8321   # run on a rsepd daemon
+//
+// With -server, every batch is submitted to a remote rsepd daemon instead of
+// the in-process pool; the daemon's store absorbs the jobs (the tables are
+// byte-identical either way), and the local -cache flags are unused.
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 	"rsepsim/internal/metrics"
 	"rsepsim/internal/prof"
 	"rsepsim/internal/runner"
+	"rsepsim/internal/serve"
 	"rsepsim/internal/store"
 )
 
@@ -54,6 +61,8 @@ func main() {
 		verbose   = flag.Bool("v", false, "report per-job progress on stderr")
 		cacheDir  = flag.String("cache-dir", defaultDir, "persistent result store directory")
 		cacheMode = flag.String("cache", "rw", "result store mode: off (in-memory only), ro, rw")
+		cacheWarm = flag.Bool("cache-warm", false, "preload the memory tier from disk before running")
+		server    = flag.String("server", "", "run batches on a rsepd daemon at this URL instead of in-process")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -76,17 +85,38 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	resStore, disk, err := store.MountFlags("experiments", *cacheDir, *cacheMode)
-	if err != nil {
-		fail(2, "%v", err)
-	}
 	opt := experiments.Options{
 		Segments:    *segments,
 		Warmup:      *warmup,
 		Measure:     *measure,
 		BaseSeed:    *seed,
 		Parallelism: *par,
-		Store:       resStore,
+	}
+	// counterSource is whatever can report hit/miss/stale for the per-figure
+	// stderr line: the mounted store locally, the client's accumulated
+	// per-batch deltas remotely.
+	type counterSource interface{ Counters() runner.Counters }
+	var counters counterSource
+	var disk *store.Disk
+	if *server != "" {
+		store.WarnServerIgnored("experiments")
+		client, err := serve.NewClient(*server)
+		if err != nil {
+			fail(2, "%v", err)
+		}
+		opt.Runner = client
+		counters = client
+	} else {
+		resStore, d, err := store.MountFlags("experiments", *cacheDir, *cacheMode)
+		if err != nil {
+			fail(2, "%v", err)
+		}
+		disk = d
+		opt.Store = resStore
+		counters = resStore
+		if err := store.WarmFlags("experiments", resStore, *cacheWarm); err != nil {
+			fail(2, "%v", err)
+		}
 	}
 	if *bench != "" {
 		opt.Benchmarks = strings.Split(*bench, ",")
@@ -156,13 +186,13 @@ func main() {
 		}
 		ran = true
 		start := time.Now()
-		before := resStore.Counters()
+		before := counters.Counters()
 		t, err := r.run(ctx, opt)
 		if err != nil {
 			fail(1, "figure %s: %v", r.name, err)
 		}
 		emit(t)
-		c := resStore.Counters().Sub(before)
+		c := counters.Counters().Sub(before)
 		fmt.Fprintf(os.Stderr, "[fig %s: %.1fs, cache %d hits / %d misses / %d stale]\n",
 			r.name, time.Since(start).Seconds(), c.Hits, c.Misses, c.Stale)
 	}

@@ -1,0 +1,113 @@
+// Command rsepd is the simulation daemon: it serves the result store and
+// the job scheduler over HTTP. Any submitted job whose key is already in
+// the store is answered without simulating; every simulated result is
+// written back through the store, so repeated traffic — across clients,
+// figures and machines — converges to pure lookups. Stored results are
+// additionally served as immutable, strongly-ETagged documents that edge
+// caches can memoize.
+//
+// Endpoints: POST /v1/batches (NDJSON or SSE result stream),
+// GET /v1/results/{id}, /healthz, /metrics (Prometheus text).
+//
+// Usage:
+//
+//	rsepd                                # serve :8321 over ~/.cache/rsepsim
+//	rsepd -addr :9000 -par 8             # custom port, 8 workers
+//	rsepd -cache-warm                    # preload the memory tier at boot
+//	rsepd -cache ro                      # serve a read-only store
+//	experiments -fig 6 -server http://localhost:8321
+//
+// SIGINT/SIGTERM shut down gracefully: in-flight batches are cancelled (the
+// results they completed are already flushed to the store and reported in
+// each response's final event), then the listener drains.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rsepsim/internal/runner"
+	"rsepsim/internal/serve"
+	"rsepsim/internal/store"
+)
+
+func main() {
+	defaultDir, _ := store.DefaultDir()
+	var (
+		addr      = flag.String("addr", ":8321", "listen address")
+		par       = flag.Int("par", 0, "concurrent simulations (default NumCPU)")
+		cacheDir  = flag.String("cache-dir", defaultDir, "persistent result store directory")
+		cacheMode = flag.String("cache", "rw", "result store mode: off (in-memory only), ro, rw")
+		cacheWarm = flag.Bool("cache-warm", false, "preload the memory tier from disk at startup")
+		verbose   = flag.Bool("v", false, "log every admitted batch")
+		drainSecs = flag.Int("drain", 30, "graceful shutdown drain budget, seconds")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "rsepd: ", log.LstdFlags)
+	fail := func(format string, args ...any) {
+		logger.Printf(format, args...)
+		os.Exit(2)
+	}
+
+	resStore, disk, err := store.MountFlags("rsepd", *cacheDir, *cacheMode)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := store.WarmFlags("rsepd", resStore, *cacheWarm); err != nil {
+		fail("%v", err)
+	}
+
+	sched := runner.NewScheduler(runner.SchedulerOptions{
+		Parallelism: *par,
+		Store:       resStore,
+	})
+	batchLog := log.New(os.Stderr, "rsepd: ", log.LstdFlags)
+	if !*verbose {
+		batchLog = nil
+	}
+	srv := serve.NewServer(serve.Options{Sched: sched, Disk: disk, Log: batchLog})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	if disk != nil {
+		logger.Printf("serving on %s over %s (%s)", *addr, disk.Dir(), *cacheMode)
+	} else {
+		logger.Printf("serving on %s with an in-memory store", *addr)
+	}
+
+	select {
+	case err := <-errCh:
+		fail("%v", err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down: cancelling in-flight batches")
+	srv.Close() // batches abort promptly; completed results are already stored
+	drainCtx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSecs)*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("drain: %v", err)
+	}
+	store.WarnWrites("rsepd", disk)
+	st := sched.Status()
+	fmt.Fprintf(os.Stderr, "rsepd: served %d batches / %d jobs, %d simulations\n",
+		st.Batches, st.Jobs, st.Simulations)
+}

@@ -10,6 +10,7 @@
 //	rsepsim -bench hmmer -mech rsep-realistic,vp -warmup 200000
 //	rsepsim -bench astar -json          # machine-readable stats
 //	rsepsim -bench mcf -cache off       # always re-simulate
+//	rsepsim -bench mcf -server http://localhost:8321   # run on a rsepd daemon
 //	rsepsim -list
 package main
 
@@ -27,6 +28,7 @@ import (
 	"rsepsim/internal/prof"
 	"rsepsim/internal/rsep"
 	"rsepsim/internal/runner"
+	"rsepsim/internal/serve"
 	"rsepsim/internal/store"
 	"rsepsim/internal/vpred"
 	"rsepsim/internal/workload"
@@ -45,6 +47,8 @@ func main() {
 		verbose   = flag.Bool("v", false, "report cache status on stderr")
 		cacheDir  = flag.String("cache-dir", defaultDir, "persistent result store directory")
 		cacheMode = flag.String("cache", "rw", "result store mode: off (in-memory only), ro, rw")
+		cacheWarm = flag.Bool("cache-warm", false, "preload the memory tier from disk before running")
+		server    = flag.String("server", "", "run on a rsepd daemon at this URL instead of in-process")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -96,27 +100,55 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	resStore, disk, err := store.MountFlags("rsepsim", *cacheDir, *cacheMode)
-	if err != nil {
-		fail(2, err)
+	// The run goes through a BatchRunner either way: the in-process pool, or
+	// a client for the remote daemon — the submission below cannot tell.
+	var br runner.BatchRunner
+	var disk *store.Disk
+	reportCache := func() {}
+	if *server != "" {
+		store.WarnServerIgnored("rsepsim")
+		client, err := serve.NewClient(*server)
+		if err != nil {
+			fail(2, err)
+		}
+		br = client
+		if *verbose {
+			reportCache = func() {
+				c := client.Counters()
+				fmt.Fprintf(os.Stderr, "rsepsim: cache %d hits / %d misses / %d stale (%s)\n",
+					c.Hits, c.Misses, c.Stale, *server)
+			}
+		}
+	} else {
+		resStore, d, err := store.MountFlags("rsepsim", *cacheDir, *cacheMode)
+		if err != nil {
+			fail(2, err)
+		}
+		disk = d
+		if err := store.WarmFlags("rsepsim", resStore, *cacheWarm); err != nil {
+			fail(2, err)
+		}
+		br = runner.New(runner.Options{Parallelism: 1, Store: resStore})
+		if *verbose {
+			reportCache = func() {
+				c := resStore.Counters()
+				fmt.Fprintf(os.Stderr, "rsepsim: cache %d hits / %d misses / %d stale (%s, mode %s)\n",
+					c.Hits, c.Misses, c.Stale, *cacheDir, *cacheMode)
+			}
+		}
 	}
-	pool := runner.New(runner.Options{Parallelism: 1, Store: resStore})
-	res, err := pool.Run(ctx, []runner.Job{{
+	res, err := br.RunBatch(ctx, runner.Batch{Jobs: []runner.Job{{
 		Bench:   *bench,
 		Config:  cfg,
 		Seed:    *seed,
 		Warmup:  *warmup,
 		Measure: *insts,
-	}})
+	}}})
 	if err != nil {
 		fail(1, err)
 	}
 	st := res[0].Stats
-	if *verbose {
-		c := resStore.Counters()
-		fmt.Fprintf(os.Stderr, "rsepsim: cache %d hits / %d misses / %d stale (%s, mode %s)\n",
-			c.Hits, c.Misses, c.Stale, *cacheDir, *cacheMode)
-	}
+	reportCache()
 	store.WarnWrites("rsepsim", disk)
 	if *jsonOut {
 		if err := st.EncodeJSON(os.Stdout); err != nil {

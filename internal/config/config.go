@@ -131,6 +131,45 @@ func TableI() *Config {
 	}
 }
 
+// Validate rejects configurations the pipeline cannot be built on: every
+// structural width, window, register count, cache geometry and frequency
+// must be positive. Configs assembled from TableI and the With* derivations
+// always pass; the check guards the wire surface, where an arbitrary inline
+// config must not be able to take down a serving process.
+func (c *Config) Validate() error {
+	pos := []struct {
+		name string
+		v    int
+	}{
+		{"FetchWidth", c.FetchWidth}, {"DecodeWidth", c.DecodeWidth},
+		{"RenameWidth", c.RenameWidth}, {"IssueWidth", c.IssueWidth},
+		{"CommitWidth", c.CommitWidth},
+		{"ROBSize", c.ROBSize}, {"IQSize", c.IQSize},
+		{"LQSize", c.LQSize}, {"SQSize", c.SQSize},
+		{"IntPRegs", c.IntPRegs}, {"FPPRegs", c.FPPRegs},
+		{"FrontendDepth", c.FrontendDepth}, {"FetchQueue", c.FetchQueue},
+		{"TakenPerFetch", c.TakenPerFetch},
+		{"L1SizeKB", c.L1SizeKB}, {"L1Ways", c.L1Ways},
+		{"L2SizeKB", c.L2SizeKB}, {"L2Ways", c.L2Ways},
+		{"L3SizeKB", c.L3SizeKB}, {"L3Ways", c.L3Ways},
+		{"MSHRs", c.MSHRs},
+		{"ITLBEntries", c.ITLBEntries}, {"DTLBEntries", c.DTLBEntries},
+		{"SSITEntries", c.SSITEntries}, {"LFSTEntries", c.LFSTEntries},
+	}
+	for _, f := range pos {
+		if f.v <= 0 {
+			return fmt.Errorf("config: %s must be positive, got %d", f.name, f.v)
+		}
+	}
+	if c.BTBMissPenalty < 0 {
+		return fmt.Errorf("config: BTBMissPenalty must be non-negative, got %d", c.BTBMissPenalty)
+	}
+	if c.CPUFreqGHz <= 0 {
+		return fmt.Errorf("config: CPUFreqGHz must be positive, got %g", c.CPUFreqGHz)
+	}
+	return nil
+}
+
 // Canonical returns a deterministic byte serialization of the configuration.
 // Two configs serialize identically iff every field (including the RSEP and
 // VP sub-configs) is equal; field order follows the struct declaration, so

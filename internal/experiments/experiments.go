@@ -27,20 +27,28 @@ import (
 
 // Options controls the simulation protocol: the paper uses 10 checkpoints of
 // 50M warmup + 100M measured instructions per benchmark; the reproduction
-// defaults to laptop-scale equivalents (see DESIGN.md §6).
+// defaults to laptop-scale equivalents (see DESIGN.md §7).
 type Options struct {
-	Benchmarks  []string // nil = the full 29-benchmark suite
-	Segments    int      // "checkpoints" per benchmark
-	Warmup      uint64   // warmup instructions per segment
-	Measure     uint64   // measured instructions per segment
-	BaseSeed    int64
-	Parallelism int // concurrent simulations (default: NumCPU)
+	Benchmarks []string // nil = the full 29-benchmark suite
+	Segments   int      // "checkpoints" per benchmark
+	Warmup     uint64   // warmup instructions per segment
+	Measure    uint64   // measured instructions per segment
+	BaseSeed   int64
+	// Parallelism bounds concurrent simulations. In-process it sizes the
+	// pool (default: NumCPU); with a remote Runner it rides along as the
+	// per-batch bound, where 0 means "let the daemon decide".
+	Parallelism int
 
 	// Store, when non-nil, is consulted for every job and filled with every
 	// simulated result. Share one across figure runners to skip
 	// configurations they have in common; mount a persistent store
 	// (internal/store) to skip them across invocations and machines.
 	Store runner.Store
+	// Runner, when non-nil, executes every batch instead of the in-process
+	// pool built from Store/Parallelism — point it at a serve.Client to run
+	// against a remote daemon. The figure runners are oblivious to the
+	// difference; results and tables are identical either way.
+	Runner runner.BatchRunner
 	// Progress, when non-nil, observes every job completion.
 	Progress func(runner.Progress)
 }
@@ -62,18 +70,21 @@ func (o Options) Defaults() Options {
 	if o.BaseSeed == 0 {
 		o.BaseSeed = 1000
 	}
-	if o.Parallelism == 0 {
+	if o.Parallelism == 0 && o.Runner == nil {
 		o.Parallelism = runtime.NumCPU()
 	}
 	return o
 }
 
-// pool builds the runner pool for these options.
-func (o Options) pool() *runner.Pool {
+// batchRunner returns the execution backend for these options: the explicit
+// Runner when set, an in-process pool otherwise.
+func (o Options) batchRunner() runner.BatchRunner {
+	if o.Runner != nil {
+		return o.Runner
+	}
 	return runner.New(runner.Options{
 		Parallelism: o.Parallelism,
 		Store:       o.Store,
-		OnProgress:  o.Progress,
 	})
 }
 
@@ -125,7 +136,13 @@ func SweepContext(ctx context.Context, cfgs []*config.Config, opt Options) ([][]
 			}
 		}
 	}
-	res, err := opt.pool().Run(ctx, jobs)
+	b := runner.Batch{Jobs: jobs, OnProgress: opt.Progress}
+	if opt.Runner != nil {
+		// Remotely, -par still means something: it becomes this batch's
+		// concurrency bound on the daemon.
+		b.Parallelism = opt.Parallelism
+	}
+	res, err := opt.batchRunner().RunBatch(ctx, b)
 	if err != nil {
 		return nil, err
 	}

@@ -3,9 +3,7 @@ package runner
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
-	"time"
 
 	"rsepsim/internal/metrics"
 )
@@ -16,42 +14,74 @@ import (
 type Progress struct {
 	Done     int
 	Total    int
+	Index    int // index of this job in the submitted batch
 	CacheHit bool
 	Job      Job
-	Err      error
+	// Stats is the job's result (nil when Err is set) — the same snapshot
+	// the Result will carry. Callbacks must treat it as read-only.
+	Stats *metrics.Stats
+	Err   error
 }
 
 // Options configures a Pool.
 type Options struct {
 	// Parallelism bounds concurrent simulations; <= 0 means NumCPU.
 	Parallelism int
-	// Store, when non-nil, is consulted before simulating and updated
-	// after. Sharing one Store across Pool.Run calls (or across figure
-	// runners) turns repeated (bench, config, seed) jobs into lookups;
-	// a persistent Store (internal/store) extends that across processes
-	// and machines.
+	// Store, when non-nil, backs the pool's result plane: consulted before
+	// simulating and updated after. Sharing one Store across Pool.Run calls
+	// (or across figure runners) turns repeated (bench, config, seed) jobs
+	// into lookups; a persistent Store (internal/store) extends that across
+	// processes and machines.
 	Store Store
 	// OnProgress, when non-nil, is invoked after each job completes. Calls
 	// are serialized; the callback must not submit to the same Pool.
 	OnProgress func(Progress)
+	// Executor overrides the execution layer (default: Simulate). Tests use
+	// deterministic stubs; a sharded deployment can substitute a remote hop.
+	Executor Executor
 }
 
-// Pool schedules simulation jobs onto a bounded set of workers.
+// Pool is the single-caller facade over the Scheduler: one batch at a time,
+// options fixed at construction. The commands and the experiment harness
+// drive simulations through it (or through any other BatchRunner — see
+// internal/serve for the remote one).
 type Pool struct {
-	opt Options
+	opt   Options
+	once  sync.Once
+	sched *Scheduler
 }
 
 // New returns a Pool with the given options.
 func New(opt Options) *Pool { return &Pool{opt: opt} }
 
+// scheduler lazily builds the backing scheduler; workers are spawned on
+// demand and exit when idle, so an unused Pool costs nothing.
+func (p *Pool) scheduler() *Scheduler {
+	p.once.Do(func() {
+		p.sched = NewScheduler(SchedulerOptions{
+			Parallelism: p.opt.Parallelism,
+			Store:       p.opt.Store,
+			Executor:    p.opt.Executor,
+		})
+	})
+	return p.sched
+}
+
 // PartialError reports a run that was cancelled before every job finished.
-// The Results returned alongside it hold the jobs that did complete; jobs
-// that never ran (or were aborted mid-simulation) carry the cancellation
-// error instead of stats.
+// The Results returned alongside it hold the jobs that did complete (their
+// results were flushed to the store as they were produced); jobs that never
+// ran (or were aborted mid-simulation) carry the cancellation error instead
+// of stats.
 type PartialError struct {
 	Done  int // jobs that completed successfully
 	Total int
-	Err   error // the cancellation cause
+	// Finished lists the unique keys that resolved to stats — work that is
+	// safe to rely on (and present in the store, if one is mounted).
+	// Aborted lists the unique keys that did not: cancelled mid-run, never
+	// started, or failed. Both are in first-submission order.
+	Finished []Key
+	Aborted  []Key
+	Err      error // the cancellation cause
 }
 
 func (e *PartialError) Error() string {
@@ -60,11 +90,9 @@ func (e *PartialError) Error() string {
 
 func (e *PartialError) Unwrap() error { return e.Err }
 
-// group is one single-flight unit: every submitted job index that shares a
-// key, simulated once.
-type group struct {
-	key     Key
-	indices []int
+// Summary renders the finished/aborted split compactly for logs.
+func (e *PartialError) Summary() string {
+	return fmt.Sprintf("%d finished, %d aborted", len(e.Finished), len(e.Aborted))
 }
 
 // Run executes the jobs and returns one Result per job, in submission order
@@ -77,119 +105,17 @@ type group struct {
 // first per-job failure in submission order (the remaining jobs still run,
 // and their results are valid).
 func (p *Pool) Run(ctx context.Context, jobs []Job) ([]Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	results := make([]Result, len(jobs))
-	for i := range jobs {
-		results[i].Job = jobs[i]
-	}
-	if len(jobs) == 0 {
-		return results, nil
-	}
-
-	par := p.opt.Parallelism
-	if par <= 0 {
-		par = runtime.NumCPU()
-	}
-
-	// Coalesce identical jobs, preserving first-appearance order.
-	byKey := make(map[Key]*group, len(jobs))
-	var order []*group
-	for i, j := range jobs {
-		k := j.Key()
-		g := byKey[k]
-		if g == nil {
-			g = &group{key: k}
-			byKey[k] = g
-			order = append(order, g)
-		}
-		g.indices = append(g.indices, i)
-	}
-
-	var (
-		mu   sync.Mutex // guards done and serializes OnProgress
-		done int
-	)
-	total := len(jobs)
-	finish := func(g *group, st *metrics.Stats, hit bool, err error) {
-		mu.Lock()
-		defer mu.Unlock()
-		for _, i := range g.indices {
-			if err != nil {
-				results[i].Err = err
-			} else {
-				s := st.Snapshot()
-				results[i].Stats = &s
-			}
-			done++
-			if p.opt.OnProgress != nil {
-				p.opt.OnProgress(Progress{Done: done, Total: total, CacheHit: hit, Job: jobs[i], Err: err})
-			}
-		}
-	}
-
-	// Resolve store hits up front; only misses reach the workers.
-	var misses []*group
-	for _, g := range order {
-		if p.opt.Store != nil {
-			if st, ok := p.opt.Store.Get(g.key); ok {
-				finish(g, st, true, nil)
-				continue
-			}
-		}
-		misses = append(misses, g)
-	}
-
-	work := make(chan *group)
-	var wg sync.WaitGroup
-	for w := 0; w < par; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for g := range work {
-				start := time.Now()
-				st, err := Simulate(ctx, jobs[g.indices[0]])
-				if err == nil && p.opt.Store != nil {
-					p.opt.Store.Put(g.key, st, time.Since(start))
-				}
-				finish(g, st, false, err)
-			}
-		}()
-	}
-feed:
-	for _, g := range misses {
-		select {
-		case work <- g:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(work)
-	wg.Wait()
-
-	if ctx.Err() != nil {
-		completed := 0
-		for i := range results {
-			if results[i].Stats != nil {
-				completed++
-			}
-		}
-		// A cancellation that landed after the last job finished lost
-		// nothing — return the complete results as a success.
-		if completed < total {
-			for i := range results {
-				if results[i].Stats == nil && results[i].Err == nil {
-					results[i].Err = context.Cause(ctx)
-				}
-			}
-			return results, &PartialError{Done: completed, Total: total, Err: context.Cause(ctx)}
-		}
-	}
-	for i := range results {
-		if results[i].Err != nil {
-			return results, fmt.Errorf("runner: job %d (%s): %w", i, results[i].Job.Bench, results[i].Err)
-		}
-	}
-	return results, nil
+	return p.RunBatch(ctx, Batch{Jobs: jobs})
 }
+
+// RunBatch implements BatchRunner. A batch without its own progress callback
+// inherits the pool's.
+func (p *Pool) RunBatch(ctx context.Context, b Batch) ([]Result, error) {
+	if b.OnProgress == nil {
+		b.OnProgress = p.opt.OnProgress
+	}
+	return p.scheduler().RunBatch(ctx, b)
+}
+
+var _ BatchRunner = (*Pool)(nil)
+var _ BatchRunner = (*Scheduler)(nil)

@@ -1,0 +1,49 @@
+package runner
+
+import (
+	"time"
+
+	"rsepsim/internal/metrics"
+)
+
+// Results is the result plane: the layer between the scheduler and a Store.
+// Every lookup the scheduler makes before executing and every write-back
+// after a successful simulation goes through here, so "answer from the store
+// without touching the executor" is a property of the layering, not of any
+// particular caller. A nil store degrades to a plane that never hits — the
+// scheduler works identically, it just simulates everything.
+type Results struct {
+	store Store
+}
+
+// NewResults returns a result plane over st (which may be nil).
+func NewResults(st Store) *Results { return &Results{store: st} }
+
+// Lookup consults the store for k. With no store it is a constant miss (and
+// counts nothing — there is nothing to count against).
+func (r *Results) Lookup(k Key) (*metrics.Stats, bool) {
+	if r.store == nil {
+		return nil, false
+	}
+	return r.store.Get(k)
+}
+
+// Commit writes a freshly simulated result back. Commit is best-effort by
+// contract with Store.Put: a failing write can never fail the simulation.
+func (r *Results) Commit(k Key, st *metrics.Stats, simTime time.Duration) {
+	if r.store == nil {
+		return
+	}
+	r.store.Put(k, st, simTime)
+}
+
+// Counters reports the backing store's lookup statistics (zero without one).
+func (r *Results) Counters() Counters {
+	if r.store == nil {
+		return Counters{}
+	}
+	return r.store.Counters()
+}
+
+// Store returns the backing store, or nil.
+func (r *Results) Store() Store { return r.store }

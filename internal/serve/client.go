@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+
+	"rsepsim/internal/metrics"
+	"rsepsim/internal/runner"
+	"rsepsim/internal/store"
+)
+
+// Client drives a remote rsepd daemon through the same interface the
+// in-process scheduler offers: it is a runner.BatchRunner, so experiment
+// code pointed at a Client instead of a Pool runs unchanged — including
+// progress callbacks, result ordering and cancellation semantics.
+type Client struct {
+	base *url.URL
+	hc   *http.Client
+
+	mu       sync.Mutex
+	counters runner.Counters
+}
+
+var _ runner.BatchRunner = (*Client)(nil)
+
+// NewClient returns a client for the daemon at baseURL (e.g.
+// "http://localhost:8321"). The URL's scheme and host are validated here;
+// the daemon itself is not contacted until the first call.
+func NewClient(baseURL string) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("serve: bad server URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("serve: server URL %q needs an http(s) scheme", baseURL)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("serve: server URL %q has no host", baseURL)
+	}
+	return &Client{base: u, hc: http.DefaultClient}, nil
+}
+
+func (c *Client) endpoint(path string) string {
+	u := *c.base
+	u.Path = strings.TrimSuffix(u.Path, "/") + path
+	return u.String()
+}
+
+// RunBatch submits the batch and consumes the response stream. Results come
+// back in submission order, one per job, exactly as from a local scheduler.
+// A cancelled context returns everything received so far plus a
+// *runner.PartialError, mirroring local semantics: jobs resolved before the
+// cut carry stats (and are in the daemon's store), the rest carry the
+// cancellation cause.
+func (c *Client) RunBatch(ctx context.Context, b runner.Batch) ([]runner.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]runner.Result, len(b.Jobs))
+	for i := range b.Jobs {
+		results[i].Job = b.Jobs[i]
+	}
+	if len(b.Jobs) == 0 {
+		return results, nil
+	}
+
+	body, err := json.Marshal(b.Spec())
+	if err != nil {
+		return results, fmt.Errorf("serve: encoding batch: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.endpoint("/v1/batches"), bytes.NewReader(body))
+	if err != nil {
+		return results, fmt.Errorf("serve: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return c.seal(ctx, b, results, fmt.Errorf("serve: %w", err))
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := bufio.NewReader(resp.Body).ReadString('\n')
+		return results, fmt.Errorf("serve: server rejected batch: %s: %s",
+			resp.Status, strings.TrimSpace(msg))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 16<<20) // a result event is small; leave headroom
+	done := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return c.seal(ctx, b, results, fmt.Errorf("serve: undecodable event: %w", err))
+		}
+		switch ev.Event {
+		case "result":
+			if ev.Index < 0 || ev.Index >= len(results) {
+				return c.seal(ctx, b, results, fmt.Errorf("serve: result index %d out of range", ev.Index))
+			}
+			if ev.JobError != "" {
+				results[ev.Index].Err = errors.New(ev.JobError)
+			} else {
+				results[ev.Index].Stats = ev.Stats
+			}
+			done++
+			if b.OnProgress != nil {
+				b.OnProgress(runner.Progress{
+					Done:     done,
+					Total:    len(b.Jobs),
+					Index:    ev.Index,
+					CacheHit: ev.CacheHit,
+					Job:      b.Jobs[ev.Index],
+					Stats:    results[ev.Index].Stats,
+					Err:      results[ev.Index].Err,
+				})
+			}
+		case "done":
+			if ev.Counters != nil {
+				c.mu.Lock()
+				c.counters = c.counters.Add(*ev.Counters)
+				c.mu.Unlock()
+			}
+			switch {
+			case ev.Partial != nil:
+				return results, ev.Partial.partialError()
+			case ev.Error != "":
+				return results, errors.New(ev.Error)
+			}
+			return results, nil
+		}
+	}
+	// The stream ended without a final event: the connection was cut, by our
+	// own cancellation or by the server going away.
+	err = sc.Err()
+	if err == nil {
+		err = errors.New("serve: stream ended before the final event")
+	}
+	return c.seal(ctx, b, results, err)
+}
+
+// seal converts a cut-off batch into local-equivalent results, preserving
+// the local error taxonomy:
+//
+//   - our own context was cancelled → *runner.PartialError with the
+//     cancellation cause, finished/aborted keys split exactly as an
+//     in-process cancelled batch reports them;
+//   - every job resolved and only the final event was lost → the local
+//     success/first-failure contract applies;
+//   - otherwise (transport failure, server gone) → the plain transport
+//     error; unresolved jobs carry it, but the run is NOT a PartialError —
+//     locally that type means cancellation, and a connection refusal is not
+//     one.
+func (c *Client) seal(ctx context.Context, b runner.Batch, results []runner.Result, err error) ([]runner.Result, error) {
+	if ctx.Err() != nil {
+		cause := context.Cause(ctx)
+		completed := 0
+		var finished, aborted []runner.Key
+		seen := make(map[runner.Key]bool)
+		for i := range results {
+			if results[i].Stats != nil {
+				completed++
+			} else if results[i].Err == nil {
+				results[i].Err = cause
+			}
+			k := b.Jobs[i].Key()
+			if !seen[k] {
+				seen[k] = true
+				if results[i].Stats != nil {
+					finished = append(finished, k)
+				} else {
+					aborted = append(aborted, k)
+				}
+			}
+		}
+		// Mirror the local rule: a cancellation that landed after every job
+		// finished lost nothing.
+		if completed == len(results) {
+			return results, nil
+		}
+		return results, &runner.PartialError{
+			Done:     completed,
+			Total:    len(results),
+			Finished: finished,
+			Aborted:  aborted,
+			Err:      cause,
+		}
+	}
+
+	resolved := 0
+	for i := range results {
+		if results[i].Stats != nil || results[i].Err != nil {
+			resolved++
+		}
+	}
+	if resolved == len(results) {
+		// Only the final event was lost; apply the local contract.
+		for i := range results {
+			if results[i].Err != nil {
+				return results, fmt.Errorf("runner: job %d (%s): %w", i, results[i].Job.Bench, results[i].Err)
+			}
+		}
+		return results, nil
+	}
+	for i := range results {
+		if results[i].Stats == nil && results[i].Err == nil {
+			results[i].Err = err
+		}
+	}
+	return results, err
+}
+
+// Counters reports the summed store-counter deltas of every batch this
+// client has run — the remote analogue of a local store's Counters, so
+// command-line hit/miss reporting works against either. Deltas are
+// attributed per batch by the daemon; with unrelated batches running
+// concurrently server-side the attribution is approximate.
+func (c *Client) Counters() runner.Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters
+}
+
+// Result fetches one stored result by key, straight from the daemon's store
+// (GET /v1/results/{id}). A result exists once any batch has simulated the
+// key; os.ErrNotExist-equivalent absence is reported as an error.
+func (c *Client) Result(ctx context.Context, k runner.Key) (*metrics.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.endpoint("/v1/results/"+store.ID(k)), nil)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: result fetch: %s", resp.Status)
+	}
+	var env struct {
+		Stats *metrics.Stats `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return nil, fmt.Errorf("serve: undecodable envelope: %w", err)
+	}
+	if env.Stats == nil {
+		return nil, errors.New("serve: envelope carries no stats")
+	}
+	return env.Stats, nil
+}
+
+// Healthz probes the daemon once.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint("/healthz"), nil)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: unhealthy: %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+// Package serve exposes the runner's scheduler and result plane over HTTP.
+//
+// The daemon (cmd/rsepd) mounts Server; remote callers use Client, which
+// satisfies runner.BatchRunner so the figure runners cannot tell which side
+// of the wire they are on. The API:
+//
+//	POST /v1/batches        submit a runner.BatchSpec; the response streams
+//	                        one NDJSON event per completed job (SSE with
+//	                        Accept: text/event-stream) and a final summary
+//	GET  /v1/results/{id}   one stored envelope, straight from the store;
+//	                        id = store.ID(key), which doubles as a strong
+//	                        ETag so edge caches can memoize indefinitely
+//	GET  /healthz           liveness plus store/queue gauges
+//	GET  /metrics           Prometheus text: hit/miss/stale counters, queue
+//	                        depth, batch/job/simulation totals
+//
+// Any job whose key is already in the store is answered without touching
+// the scheduler's executor, and every simulated result is written back
+// through it — the store absorbs all repeated traffic.
+package serve
+
+import (
+	"context"
+	"errors"
+
+	"rsepsim/internal/metrics"
+	"rsepsim/internal/runner"
+)
+
+// event is one NDJSON line (or SSE data payload) of a batch response stream.
+// Event "result" resolves exactly one submitted job index; event "done"
+// terminates the stream with batch-level outcome. Streaming results one by
+// one (rather than a final array) is what makes client-side cancellation
+// lossless: everything received before the cut is a finished job.
+type event struct {
+	Event string `json:"event"` // "result" or "done"
+
+	// "result" fields.
+	Index    int            `json:"index,omitempty"`
+	Done     int            `json:"done,omitempty"`
+	Total    int            `json:"total,omitempty"`
+	CacheHit bool           `json:"cache_hit,omitempty"`
+	Stats    *metrics.Stats `json:"stats,omitempty"`
+	JobError string         `json:"job_error,omitempty"`
+
+	// "done" fields.
+	Counters *runner.Counters `json:"counters,omitempty"` // store delta for this batch
+	Error    string           `json:"error,omitempty"`    // batch-level failure (non-partial)
+	Partial  *partialInfo     `json:"partial,omitempty"`
+}
+
+// partialInfo is the wire form of *runner.PartialError.
+type partialInfo struct {
+	Done     int          `json:"done"`
+	Total    int          `json:"total"`
+	Finished []runner.Key `json:"finished,omitempty"`
+	Aborted  []runner.Key `json:"aborted,omitempty"`
+	Cause    string       `json:"cause"`
+}
+
+// toPartialInfo flattens a *PartialError for the wire.
+func toPartialInfo(pe *runner.PartialError) *partialInfo {
+	return &partialInfo{
+		Done:     pe.Done,
+		Total:    pe.Total,
+		Finished: pe.Finished,
+		Aborted:  pe.Aborted,
+		Cause:    pe.Err.Error(),
+	}
+}
+
+// partialError rebuilds the typed error on the client side, re-identifying
+// the ubiquitous context causes so errors.Is works across the wire.
+func (p *partialInfo) partialError() *runner.PartialError {
+	var cause error
+	switch p.Cause {
+	case context.Canceled.Error():
+		cause = context.Canceled
+	case context.DeadlineExceeded.Error():
+		cause = context.DeadlineExceeded
+	default:
+		cause = errors.New(p.Cause)
+	}
+	return &runner.PartialError{
+		Done:     p.Done,
+		Total:    p.Total,
+		Finished: p.Finished,
+		Aborted:  p.Aborted,
+		Err:      cause,
+	}
+}

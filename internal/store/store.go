@@ -190,6 +190,35 @@ func decodeEntry(raw []byte) (*envelope, *metrics.Stats, error) {
 	return &env, &st, nil
 }
 
+// LoadRaw returns the raw envelope bytes of the entry with the given
+// content address, fully validated (decode, checksum, key/path agreement) —
+// the read path behind GET /v1/results/{id}, where the bytes are relayed
+// verbatim and the id doubles as a strong ETag. A missing entry returns an
+// os.IsNotExist error so callers can map it to 404; any other error means
+// the entry exists but is unusable. LoadRaw leaves the hit/miss counters
+// alone: they track result-plane lookups (simulations avoided), not
+// serving-path reads.
+func (d *Disk) LoadRaw(id string) ([]byte, error) {
+	if len(id) != 2*sha256.Size || strings.ToLower(id) != id {
+		return nil, fmt.Errorf("store: malformed entry id %q", id)
+	}
+	if _, err := hex.DecodeString(id); err != nil {
+		return nil, fmt.Errorf("store: malformed entry id %q", id)
+	}
+	raw, err := os.ReadFile(d.path(id))
+	if err != nil {
+		return nil, err
+	}
+	env, _, err := decodeEntry(raw)
+	if err != nil {
+		return nil, err
+	}
+	if got := ID(env.Key.key()); got != id {
+		return nil, fmt.Errorf("store: entry %s keyed for %s", id[:12], got[:12])
+	}
+	return raw, nil
+}
+
 // Put persists st under k via an atomic tmp+rename write. Put is
 // best-effort: an I/O failure is recorded (see Err) but never surfaced to
 // the simulation that produced the result.

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -566,5 +567,169 @@ func TestStoreKeyStability(t *testing.T) {
 	k2.Seed = 4
 	if ID(k2) == id {
 		t.Fatal("seed does not affect ID")
+	}
+}
+
+// TestTieredWarm: Warm preloads every disk entry into the memory tier
+// without touching the lookup counters, so subsequent Gets are memory hits.
+func TestTieredWarm(t *testing.T) {
+	d := mustOpen(t)
+	for i := int64(0); i < 5; i++ {
+		d.Put(testKey("mcf", i), testStats(uint64(i+1)), time.Second)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	ti := NewTiered(d, false)
+	entries, bytes, err := ti.Warm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != 5 || bytes <= 0 {
+		t.Fatalf("warm loaded %d entries / %d bytes, want 5 / >0", entries, bytes)
+	}
+	if c := ti.Counters(); c != (runner.Counters{}) {
+		t.Fatalf("warm-up moved the counters: %+v", c)
+	}
+
+	// Every key must now be a memory hit: damage the disk tier and look up.
+	for i := int64(0); i < 5; i++ {
+		if err := os.Remove(entryPath(d, testKey("mcf", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 5; i++ {
+		st, ok := ti.Get(testKey("mcf", i))
+		if !ok {
+			t.Fatalf("key %d not served from the warmed memory tier", i)
+		}
+		if st.Cycles != 100*uint64(i+1) {
+			t.Fatalf("key %d: warmed entry has wrong stats", i)
+		}
+	}
+	c := ti.Counters()
+	if c.Hits != 5 || c.Misses != 0 || c.Stale != 0 {
+		t.Fatalf("counters = %+v, want 5 hits / 0 misses / 0 stale", c)
+	}
+
+	// Warming a corrupt entry skips it, Get-style.
+	d2 := mustOpen(t)
+	d2.Put(testKey("hmmer", 1), testStats(1), time.Second)
+	d2.Put(testKey("hmmer", 2), testStats(2), time.Second)
+	if err := os.Truncate(entryPath(d2, testKey("hmmer", 2)), 10); err != nil {
+		t.Fatal(err)
+	}
+	ti2 := NewTiered(d2, false)
+	entries, _, err = ti2.Warm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != 1 {
+		t.Fatalf("warm loaded %d entries from a half-corrupt store, want 1", entries)
+	}
+}
+
+// TestTieredConcurrent hammers one Tiered store with concurrent Get/Put from
+// many goroutines (run under -race in CI) and asserts the counters stay
+// consistent: every Get is accounted as exactly one hit or one miss.
+func TestTieredConcurrent(t *testing.T) {
+	ti := NewTiered(mustOpen(t), false)
+
+	const (
+		workers = 8
+		keys    = 16
+		rounds  = 40
+	)
+	var wg sync.WaitGroup
+	var gets atomic.Uint64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := testKey("bzip2", int64((w*rounds+r)%keys))
+				if st, ok := ti.Get(k); ok {
+					if st.Committed == 0 {
+						t.Error("hit returned zero-value stats")
+					}
+				} else {
+					ti.Put(k, testStats(uint64(k.Seed)+1), time.Millisecond)
+				}
+				gets.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	c := ti.Counters()
+	if c.Hits+c.Misses != gets.Load() {
+		t.Fatalf("hits(%d) + misses(%d) != gets(%d): a lookup went unaccounted",
+			c.Hits, c.Misses, gets.Load())
+	}
+	if c.Stale != 0 {
+		t.Fatalf("stale = %d on an undamaged store", c.Stale)
+	}
+	if c.Hits == 0 || c.Misses == 0 {
+		t.Fatalf("degenerate interleaving: %d hits / %d misses", c.Hits, c.Misses)
+	}
+	if err := ti.Disk().Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every key is now on disk exactly once and valid.
+	valid, bad, err := ti.Disk().Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != keys || len(bad) != 0 {
+		t.Fatalf("verify: %d valid / %d bad, want %d / 0", valid, len(bad), keys)
+	}
+}
+
+// TestLoadRaw: the serving read path returns the exact envelope bytes,
+// rejects damage and malformed ids, and reports absence as IsNotExist.
+func TestLoadRaw(t *testing.T) {
+	d := mustOpen(t)
+	k := testKey("mcf", 3)
+	d.Put(k, testStats(2), time.Second)
+
+	id := ID(k)
+	raw, err := d.LoadRaw(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(entryPath(d, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, onDisk) {
+		t.Fatal("LoadRaw bytes differ from the entry file")
+	}
+	var env map[string]any
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatalf("LoadRaw bytes are not a JSON envelope: %v", err)
+	}
+
+	if _, err := d.LoadRaw(ID(testKey("mcf", 99))); !os.IsNotExist(err) {
+		t.Fatalf("missing entry: err = %v, want IsNotExist", err)
+	}
+	for _, bad := range []string{"", "abc", strings.ToUpper(id), strings.Repeat("z", 64), "../../etc/passwd"} {
+		if _, err := d.LoadRaw(bad); err == nil || os.IsNotExist(err) {
+			t.Fatalf("malformed id %q: err = %v, want validation error", bad, err)
+		}
+	}
+
+	// A truncated entry must be rejected, not relayed.
+	if err := os.Truncate(entryPath(d, k), 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.LoadRaw(id); err == nil {
+		t.Fatal("LoadRaw relayed a truncated entry")
+	}
+
+	// LoadRaw leaves the counters alone.
+	if c := d.Counters(); c != (runner.Counters{}) {
+		t.Fatalf("serving reads moved the lookup counters: %+v", c)
 	}
 }

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -45,6 +46,29 @@ func (t *Tiered) Get(k runner.Key) (*metrics.Stats, bool) {
 	}
 	t.mem.Put(k, st, 0)
 	return st, true
+}
+
+// Warm preloads the memory tier with every valid entry on disk, so a
+// serving process answers hot keys without touching the filesystem from the
+// first request on. It returns how many entries and how many raw bytes were
+// loaded. Warming bypasses the lookup counters entirely — hits and misses
+// keep meaning "requests served / not served without simulating", whether or
+// not the store was warmed. Damaged entries are skipped, exactly as Get
+// would skip them.
+func (t *Tiered) Warm() (entries int, bytes int64, err error) {
+	err = t.disk.Scan(func(e Entry) error {
+		st, _, loadErr := t.disk.load(e.Key)
+		if loadErr != nil {
+			// Entry vanished or decayed between the scan and the read:
+			// Get-equivalent behavior is to skip it, not fail the warm-up.
+			return nil
+		}
+		t.mem.Put(e.Key, st, e.SimTime)
+		entries++
+		bytes += e.Size
+		return nil
+	})
+	return entries, bytes, err
 }
 
 // Put records st in memory and, unless read-only, on disk.
@@ -113,6 +137,41 @@ func MountFlags(prog, dir, mode string) (runner.Store, *Disk, error) {
 		mode = "off"
 	}
 	return Mount(dir, mode)
+}
+
+// WarnServerIgnored notes, in prog's name, any explicitly-set local store
+// flag that has no effect because -server hands the store to the daemon —
+// the counterpart of MountFlags for the remote path.
+func WarnServerIgnored(prog string) {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "cache", "cache-dir", "cache-warm":
+			fmt.Fprintf(os.Stderr, "%s: -%s is ignored with -server (the daemon owns the store)\n", prog, f.Name)
+		}
+	})
+}
+
+// WarmFlags interprets the -cache-warm flag shared by the commands: when
+// enabled it preloads the memory tier from disk and logs entries/bytes on
+// stderr in prog's name. A store without a persistent tier ("off" mode)
+// says so instead of silently doing nothing.
+func WarmFlags(prog string, st runner.Store, enabled bool) error {
+	if !enabled {
+		return nil
+	}
+	tiered, ok := st.(*Tiered)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "%s: cache warm-up: no persistent tier mounted; skipping\n", prog)
+		return nil
+	}
+	start := time.Now()
+	entries, bytes, err := tiered.Warm()
+	if err != nil {
+		return fmt.Errorf("store: cache warm-up: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: cache warm-up: %d entries, %d bytes in %.2fs\n",
+		prog, entries, bytes, time.Since(start).Seconds())
+	return nil
 }
 
 // WarnWrites reports recorded write failures on stderr in prog's name —
