@@ -15,7 +15,19 @@
 //	rsepd -addr :9000 -par 8             # custom port, 8 workers
 //	rsepd -cache-warm                    # preload the memory tier at boot
 //	rsepd -cache ro                      # serve a read-only store
+//	rsepd -pprof-addr localhost:6060     # expose net/http/pprof separately
 //	experiments -fig 6 -server http://localhost:8321
+//
+// Profiling: -pprof-addr (off by default) starts a second listener serving
+// the standard net/http/pprof endpoints (/debug/pprof/...), so daemon-side
+// hot paths can be profiled under live traffic the way -cpuprofile and
+// -memprofile already cover the CLIs:
+//
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=30
+//
+// The profile listener is separate from the serving listener on purpose:
+// bind it to localhost (or an internal interface) and the debug surface is
+// never reachable through whatever port the daemon itself is exposed on.
 //
 // SIGINT/SIGTERM shut down gracefully: in-flight batches are cancelled (the
 // results they completed are already flushed to the store and reported in
@@ -29,6 +41,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +62,7 @@ func main() {
 		cacheWarm = flag.Bool("cache-warm", false, "preload the memory tier from disk at startup")
 		verbose   = flag.Bool("v", false, "log every admitted batch")
 		drainSecs = flag.Int("drain", 30, "graceful shutdown drain budget, seconds")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off when empty; use a loopback or internal interface)")
 	)
 	flag.Parse()
 
@@ -86,6 +100,26 @@ func main() {
 	defer stop()
 
 	errCh := make(chan error, 1)
+	if *pprofAddr != "" {
+		// A dedicated mux on a dedicated listener: the debug surface never
+		// shares a port with the public API, and DefaultServeMux stays
+		// untouched. A pprof listener failure is fatal — an operator who
+		// asked for profiling should not silently run without it.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           mux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() { errCh <- pprofSrv.ListenAndServe() }()
+		defer pprofSrv.Close()
+		logger.Printf("pprof on %s/debug/pprof/", *pprofAddr)
+	}
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	if disk != nil {
 		logger.Printf("serving on %s over %s (%s)", *addr, disk.Dir(), *cacheMode)

@@ -121,14 +121,27 @@ func mixIdx(pc uint64, fold uint32, path uint64, comp int) uint32 {
 // Resolve when the branch executes.
 func (p *Predictor) Predict(in *uarch.Inst) Prediction {
 	var pr Prediction
-	pr.Snapshot = p.hist.Snapshot()
+	p.PredictInto(in, &pr)
+	return pr
+}
+
+// PredictInto is Predict writing the prediction record in place — the
+// pipeline points it at the inflight instruction's arena slot, whose previous
+// contents may be stale. Every field consumed later is (re)written here: the
+// scalar header explicitly, the history/RAS checkpoints wholesale, and the
+// per-component indices/tags by predictDirection on the only path (BrCond)
+// that later reads them.
+func (p *Predictor) PredictInto(in *uarch.Inst, pr *Prediction) {
+	pr.Taken, pr.Target, pr.TargetHit = false, 0, false
+	pr.provider, pr.altTaken, pr.predUsed = 0, false, false
+	p.hist.SnapshotInto(&pr.Snapshot)
 	pr.rasSnap = p.ras
 	pr.rasTop = p.top
 
 	switch in.BrKind {
 	case uarch.BrCond:
 		p.CondLookups++
-		pr.Taken = p.predictDirection(in.PC, &pr)
+		pr.Taken = p.predictDirection(in.PC, pr)
 	case uarch.BrUncond, uarch.BrCall, uarch.BrIndirect:
 		pr.Taken = true
 	case uarch.BrReturn:
@@ -161,7 +174,6 @@ func (p *Predictor) Predict(in *uarch.Inst) Prediction {
 	} else {
 		p.hist.Push(in.PC, true)
 	}
-	return pr
 }
 
 func (p *Predictor) predictDirection(pc uint64, pr *Prediction) bool {
@@ -210,7 +222,7 @@ func (p *Predictor) Resolve(in *uarch.Inst, pr *Prediction, mispredicted bool) {
 	if mispredicted {
 		// Rewind speculative state to just before this branch, then
 		// re-apply the actual outcome.
-		p.hist.Restore(pr.Snapshot)
+		p.hist.RestoreFrom(&pr.Snapshot)
 		p.ras = pr.rasSnap
 		p.top = pr.rasTop
 		if in.BrKind == uarch.BrCall {
@@ -232,7 +244,7 @@ func (p *Predictor) Resolve(in *uarch.Inst, pr *Prediction, mispredicted bool) {
 // just before pr's branch was predicted. The pipeline uses it when a squash
 // (value mispredict, memory-order violation) discards inflight branches.
 func (p *Predictor) RestoreFrom(pr *Prediction) {
-	p.hist.Restore(pr.Snapshot)
+	p.hist.RestoreFrom(&pr.Snapshot)
 	p.ras = pr.rasSnap
 	p.top = pr.rasTop
 }

@@ -5,6 +5,7 @@ import (
 
 	"rsepsim/internal/config"
 	"rsepsim/internal/rsep"
+	"rsepsim/internal/vpred"
 	"rsepsim/internal/workload"
 )
 
@@ -20,6 +21,11 @@ func TestSteadyStateAllocations(t *testing.T) {
 	cfgs := map[string]*config.Config{
 		"baseline": config.TableI(),
 		"rsep":     config.TableI().WithRSEP(rsep.Realistic()),
+		// The paper's headline configuration: the whole prediction stack
+		// (TAGE distance predictor, unbounded FIFO history, HRF, zero
+		// predictor, D-VTAGE) must hold the same budget so it cannot
+		// silently regress back to heap allocation.
+		"rsep-vp": config.TableI().WithRSEP(rsep.Ideal()).WithVP(vpred.BeBoP()),
 	}
 	for name, cfg := range cfgs {
 		t.Run(name, func(t *testing.T) {

@@ -24,6 +24,10 @@ const noDyn = ^uint32(0)
 func (c *Core) d(i uint32) *dyn { return &c.darena[i] }
 
 // newDyn takes a record from the free list, growing the arena when empty.
+// Reuse resets only the hot state: the cold blobs (predictor lookups, history
+// checkpoints — see dyn) stay stale and are rewritten in place before any
+// guarded read, which keeps the per-instruction clear to under a tenth of the
+// record's footprint.
 func (c *Core) newDyn(in uarch.Inst) uint32 {
 	var di uint32
 	if n := len(c.dynFree); n > 0 {
@@ -31,7 +35,7 @@ func (c *Core) newDyn(in uarch.Inst) uint32 {
 		c.dynFree = c.dynFree[:n-1]
 		d := &c.darena[di]
 		token := d.wakeToken
-		*d = dyn{}
+		d.dynHot = dynHot{}
 		d.wakeToken = token
 	} else {
 		c.darena = append(c.darena, dyn{})

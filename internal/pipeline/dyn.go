@@ -23,9 +23,33 @@ const (
 )
 
 // dyn is the pipeline's record for one inflight dynamic instruction.
+//
+// Layout discipline (DESIGN.md §3.2): the record splits into the embedded
+// dynHot — small per-instruction state that newDyn resets wholesale on every
+// arena-slot reuse — and a handful of cold blobs (predictor lookup state and
+// history checkpoints, ~2KB) that are left stale across reuse and fully
+// rewritten in place before any guarded read: the *Valid flags and hasSnaps
+// live in dynHot and gate every access, and the lookups/snapshots are written
+// with the predictors' *Into methods so the state never moves once recorded.
+// Without the split, clearing the whole record cost more memory traffic per
+// instruction than the rest of rename combined.
 type dyn struct {
 	in uarch.Inst
 
+	dynHot
+
+	// Cold blobs — guarded by dynHot flags, rewritten in place at fetch.
+	brPred   branch.Prediction         // branches (brMispred/IsBranch gate)
+	distLk   rsep.DistLookup           // distLkValid gates
+	vpLk     vpred.Lookup              // vpLkValid gates
+	distSnap predictor.HistorySnapshot // hasSnaps gates
+	vpSnap   predictor.HistorySnapshot // hasSnaps gates
+}
+
+// dynHot is the per-instruction state zeroed on every allocation. New dyn
+// fields belong here unless they are cold blobs with an explicit guard and
+// an in-place full rewrite before first read (see the dyn doc comment).
+type dynHot struct {
 	renameReady uint64 // cycle at which the front end delivers it to rename
 
 	// Rename state.
@@ -38,12 +62,11 @@ type dyn struct {
 	shared   bool // holds an ISRB reference on dstPreg
 	kind     predKind
 
-	// Predictor lookups, performed at fetch.
-	distLk      rsep.DistLookup
+	// Predictor lookup guards (the lookups themselves are cold blobs);
+	// the zero-predictor lookup is two words and stays hot.
 	distLkValid bool
 	zeroLk      rsep.ZeroLookup
 	zeroLkValid bool
-	vpLk        vpred.Lookup
 	vpLkValid   bool
 
 	// Equality-prediction state.
@@ -57,11 +80,9 @@ type dyn struct {
 	needValUop     bool
 	valUopIssued   bool
 
-	// Branch state.
-	brPred    branch.Prediction
+	// Branch state (the prediction record and history checkpoints are
+	// cold blobs).
 	brMispred bool
-	distSnap  predictor.HistorySnapshot
-	vpSnap    predictor.HistorySnapshot
 	hasSnaps  bool
 
 	// Execution state.

@@ -71,10 +71,12 @@ func (c *Core) fetch() {
 		}
 
 		// Non-branch: perform the mechanism lookups at fetch time, when
-		// the speculative global history is exactly the hardware's.
+		// the speculative global history is exactly the hardware's. The
+		// lookups write straight into the arena record (cold-blob
+		// discipline, see dyn): prediction state is born where it lives.
 		if in.HasDest() {
 			if c.distPred != nil {
-				d.distLk = c.distPred.Lookup(in.PC, c.distHist)
+				c.distPred.LookupInto(&d.distLk, in.PC, c.distHist)
 				d.distLkValid = true
 			}
 			if c.zp != nil {
@@ -82,7 +84,7 @@ func (c *Core) fetch() {
 				d.zeroLkValid = true
 			}
 			if c.vp != nil {
-				d.vpLk = c.vp.Lookup(in.PC, c.vpHist)
+				c.vp.LookupInto(&d.vpLk, in.PC, c.vpHist)
 				d.vpLkValid = true
 			}
 		}
@@ -95,15 +97,17 @@ func (c *Core) fetch() {
 func (c *Core) fetchBranch(d *dyn) {
 	in := &d.in
 	// Snapshot the auxiliary histories before they are pushed, for repair.
+	// Checkpoints and the prediction record are written in place into the
+	// arena slot — no intermediate copies of multi-cache-line state.
 	if c.distHist != nil {
-		d.distSnap = c.distHist.Snapshot()
+		c.distHist.SnapshotInto(&d.distSnap)
 	}
 	if c.vpHist != nil {
-		d.vpSnap = c.vpHist.Snapshot()
+		c.vpHist.SnapshotInto(&d.vpSnap)
 	}
 	d.hasSnaps = true
 
-	d.brPred = c.bp.Predict(in)
+	c.bp.PredictInto(in, &d.brPred)
 
 	// Push the *predicted* direction into the auxiliary histories.
 	dir := d.brPred.Taken
@@ -144,11 +148,11 @@ func (c *Core) resolveBranch(di uint32) {
 	// push the actual outcome.
 	dir := d.in.Taken || d.in.BrKind != uarch.BrCond
 	if c.distHist != nil {
-		c.distHist.Restore(d.distSnap)
+		c.distHist.RestoreFrom(&d.distSnap)
 		c.distHist.Push(d.in.PC, dir)
 	}
 	if c.vpHist != nil {
-		c.vpHist.Restore(d.vpSnap)
+		c.vpHist.RestoreFrom(&d.vpSnap)
 		c.vpHist.Push(d.in.PC, dir)
 	}
 	if c.fetchBlocked == di {

@@ -9,6 +9,7 @@ import (
 
 	"rsepsim/internal/config"
 	"rsepsim/internal/rsep"
+	"rsepsim/internal/vpred"
 	"rsepsim/internal/workload"
 )
 
@@ -31,6 +32,10 @@ func TestGoldenStats(t *testing.T) {
 		// sampling and mispredict squashes.
 		{"mcf-baseline", "mcf", config.TableI()},
 		{"hmmer-rsep-realistic", "hmmer", config.TableI().WithRSEP(rsep.Realistic())},
+		// The ideal-RSEP + D-VTAGE run additionally exercises value
+		// prediction (inflight stride extrapolation, VP squashes) and
+		// the unbounded FIFO history.
+		{"mcf-rsep-vp", "mcf", config.TableI().WithRSEP(rsep.Ideal()).WithVP(vpred.BeBoP())},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

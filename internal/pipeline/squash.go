@@ -125,10 +125,10 @@ func (c *Core) squashFrom(seq uint64) {
 		ob := c.d(oldestBranch)
 		c.bp.RestoreFrom(&ob.brPred)
 		if c.distHist != nil {
-			c.distHist.Restore(ob.distSnap)
+			c.distHist.RestoreFrom(&ob.distSnap)
 		}
 		if c.vpHist != nil {
-			c.vpHist.Restore(ob.vpSnap)
+			c.vpHist.RestoreFrom(&ob.vpSnap)
 		}
 	}
 

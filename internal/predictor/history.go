@@ -6,21 +6,32 @@ package predictor
 // history into an index in O(1) per update is the standard TAGE
 // implementation technique.
 //
+// Data layout (DESIGN.md §3.2): the direction-bit ring is sized to a
+// power-of-two word count so every index computation is a mask instead of a
+// division, and a folded register packs into eight bytes, so a full
+// HistorySnapshot is a few cache lines and copying one is a short memmove.
+//
 // The history is updated speculatively at prediction time; Snapshot/Restore
-// provide the checkpointing the pipeline needs to repair it after a squash.
+// (and their pointer-based SnapshotInto/RestoreFrom forms, which the pipeline
+// uses to write checkpoints directly into arena-resident storage) provide the
+// checkpointing the pipeline needs to repair it after a squash.
 type GlobalHistory struct {
-	bits []uint64 // ring buffer of direction bits
-	pos  int      // index of the most recent bit
-	path uint64   // low bits of recent branch PCs
+	bits    []uint64 // ring buffer of direction bits; power-of-two length
+	bitMask int      // len(bits)*64 - 1
+	pos     int      // index of the most recent bit
+	path    uint64   // low bits of recent branch PCs
 
 	folds []foldedReg
 }
 
+// foldedReg is one incrementally folded history image. The fields are packed
+// so the register is exactly eight bytes: histLen is at most MaxHistoryBits
+// (fits uint16) and width/outShift are at most 32 (fit uint8).
 type foldedReg struct {
-	histLen  int
-	width    int
 	val      uint32
-	outShift uint // position of the outgoing bit within the fold
+	histLen  uint16
+	width    uint8
+	outShift uint8 // position of the outgoing bit within the fold
 }
 
 // Snapshot capacity limits: histories up to maxHistoryBits direction bits
@@ -49,34 +60,35 @@ func NewGlobalHistory(histLens, widths []int) *GlobalHistory {
 		panic("predictor: too many folded histories")
 	}
 	words := (maxLen+2)/64 + 2
-	g := &GlobalHistory{bits: make([]uint64, words)}
+	// Round the ring up to a power of two of words so bit indexing masks
+	// instead of dividing. A larger ring only retains more stale bits past
+	// every fold's window; the bits any fold reads are unchanged.
+	pow := Pow2Ceil(words)
+	g := &GlobalHistory{bits: make([]uint64, pow), bitMask: pow*64 - 1}
 	for i, l := range histLens {
 		w := widths[i]
 		if w <= 0 {
 			w = 1
 		}
 		g.folds = append(g.folds, foldedReg{
-			histLen:  l,
-			width:    w,
-			outShift: uint(l % w),
+			histLen:  uint16(l),
+			width:    uint8(w),
+			outShift: uint8(l % w),
 		})
 	}
 	return g
 }
 
 func (g *GlobalHistory) bitAt(age int) uint32 {
-	idx := g.pos - age
-	n := len(g.bits) * 64
-	idx = ((idx % n) + n) % n
-	return uint32(g.bits[idx/64]>>(uint(idx)%64)) & 1
+	idx := (g.pos - age) & g.bitMask // age <= MaxHistoryBits < len(bits)*64
+	return uint32(g.bits[idx>>6]>>(uint(idx)&63)) & 1
 }
 
 // Push records a branch outcome (and its PC into the path history) and
 // updates all folded registers.
 func (g *GlobalHistory) Push(pc uint64, taken bool) {
-	n := len(g.bits) * 64
-	g.pos = (g.pos + 1) % n
-	w, b := g.pos/64, uint(g.pos)%64
+	g.pos = (g.pos + 1) & g.bitMask
+	w, b := g.pos>>6, uint(g.pos)&63
 	var nb uint64
 	if taken {
 		nb = 1
@@ -89,7 +101,7 @@ func (g *GlobalHistory) Push(pc uint64, taken bool) {
 		f := &g.folds[i]
 		// Insert the new bit, rotate, remove the outgoing bit.
 		in := uint32(nb)
-		out := g.bitAt(f.histLen) // the bit that just fell off this fold's window
+		out := g.bitAt(int(f.histLen)) // the bit that just fell off this fold's window
 		f.val = (f.val << 1) | in
 		f.val ^= out << f.outShift
 		f.val ^= f.val >> uint(f.width)
@@ -105,7 +117,9 @@ func (g *GlobalHistory) Path() uint64 { return g.path }
 
 // HistorySnapshot captures the full history state as a fixed-size value
 // (no heap allocation), so the pipeline can attach one to each inflight
-// branch cheaply.
+// branch cheaply. Only the words and folds the history actually uses are
+// copied in and out; trailing array elements carry whatever was there before,
+// which Restore never reads.
 type HistorySnapshot struct {
 	bits  [maxHistoryWords]uint64
 	pos   int
@@ -116,15 +130,27 @@ type HistorySnapshot struct {
 // Snapshot returns a copy of the current state.
 func (g *GlobalHistory) Snapshot() HistorySnapshot {
 	var s HistorySnapshot
+	g.SnapshotInto(&s)
+	return s
+}
+
+// SnapshotInto writes the current state into s without an intermediate copy,
+// for checkpoints that live in preallocated (arena) storage.
+func (g *GlobalHistory) SnapshotInto(s *HistorySnapshot) {
 	copy(s.bits[:], g.bits)
 	s.pos = g.pos
 	s.path = g.path
 	copy(s.folds[:], g.folds)
-	return s
 }
 
 // Restore rewinds the history to a previous snapshot.
 func (g *GlobalHistory) Restore(s HistorySnapshot) {
+	g.RestoreFrom(&s)
+}
+
+// RestoreFrom rewinds the history to a previous snapshot without copying the
+// snapshot value onto the stack.
+func (g *GlobalHistory) RestoreFrom(s *HistorySnapshot) {
 	copy(g.bits, s.bits[:])
 	g.pos = s.pos
 	g.path = s.path

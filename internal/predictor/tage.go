@@ -106,6 +106,32 @@ type TAGE[P comparable] struct {
 	tables [][]tagePayloadEntry[P]
 	rng    *rand.Rand
 	ticks  int
+
+	// Precomputed index arithmetic (DESIGN.md §3.2): table sizes are
+	// powers of two in every paper configuration, so indexing is a mask;
+	// a zero mask falls back to modulo. tagMasks holds (1<<TagBits)-1.
+	baseMask uint32
+	idxMasks [MaxComponents]uint32
+	tagMasks [MaxComponents]uint32
+}
+
+// Pow2Mask returns n-1 when n is a power of two, else 0 — the convention the
+// prediction stack's table-indexing fast paths share: a non-zero mask means
+// `x & mask`, zero means fall back to modulo (DESIGN.md §3.2).
+func Pow2Mask(n int) uint32 {
+	if n > 0 && n&(n-1) == 0 {
+		return uint32(n - 1)
+	}
+	return 0
+}
+
+// Pow2Ceil returns the smallest power of two >= n (n must be positive).
+func Pow2Ceil(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // NewTAGE builds a predictor from cfg. conf may be nil, in which case the
@@ -119,8 +145,11 @@ func NewTAGE[P comparable](cfg TAGEConfig, conf ConfPolicy, rng *rand.Rand) *TAG
 	}
 	t := &TAGE[P]{cfg: cfg, conf: conf, rng: rng}
 	t.base = make([]tagePayloadEntry[P], cfg.BaseEntries)
-	for _, n := range cfg.TableEntries {
+	t.baseMask = Pow2Mask(cfg.BaseEntries)
+	for i, n := range cfg.TableEntries {
 		t.tables = append(t.tables, make([]tagePayloadEntry[P], n))
+		t.idxMasks[i] = Pow2Mask(n)
+		t.tagMasks[i] = (1 << uint(cfg.TagBits[i])) - 1
 	}
 	return t
 }
@@ -160,16 +189,36 @@ func tagMix(pc uint64, fold uint32, comp int) uint64 {
 	return h
 }
 
-// Lookup computes a prediction for pc under the given history.
+// Lookup computes a prediction for pc under the given history. The result is
+// written into lk (typically arena-resident scratch carried with the inflight
+// instruction) rather than returned, so the caller controls where it lives.
 func (t *TAGE[P]) Lookup(pc uint64, hist *GlobalHistory) TAGELookup[P] {
-	lk := TAGELookup[P]{Provider: -1}
-	lk.baseIdx = uint32((pc >> 2) % uint64(len(t.base)))
+	var lk TAGELookup[P]
+	t.LookupInto(&lk, pc, hist)
+	return lk
+}
+
+// LookupInto is Lookup writing its result in place.
+func (t *TAGE[P]) LookupInto(lk *TAGELookup[P], pc uint64, hist *GlobalHistory) {
+	*lk = TAGELookup[P]{Provider: -1}
+	if t.baseMask != 0 {
+		lk.baseIdx = uint32(pc>>2) & t.baseMask
+	} else {
+		lk.baseIdx = uint32((pc >> 2) % uint64(len(t.base)))
+	}
 	be := &t.base[lk.baseIdx]
 	lk.Payload, lk.Conf = be.payload, be.conf
 
+	path := hist.Path()
 	for i := range t.tables {
-		idx := uint32(mix(pc, hist.Fold(i), hist.Path(), i) % uint64(len(t.tables[i])))
-		tag := uint32(tagMix(pc, hist.Fold(i), i)) & ((1 << uint(t.cfg.TagBits[i])) - 1)
+		fold := hist.Fold(i)
+		var idx uint32
+		if m := t.idxMasks[i]; m != 0 {
+			idx = uint32(mix(pc, fold, path, i)) & m
+		} else {
+			idx = uint32(mix(pc, fold, path, i) % uint64(len(t.tables[i])))
+		}
+		tag := uint32(tagMix(pc, fold, i)) & t.tagMasks[i]
 		lk.indices[i], lk.tags[i] = idx, tag
 		e := &t.tables[i][idx]
 		if e.valid && e.tag == tag {
@@ -179,7 +228,6 @@ func (t *TAGE[P]) Lookup(pc uint64, hist *GlobalHistory) TAGELookup[P] {
 			lk.Hit = true
 		}
 	}
-	return lk
 }
 
 // ConfAtLeast reports whether the looked-up confidence meets an
@@ -248,14 +296,21 @@ func (t *TAGE[P]) UpdateOutcome(lk *TAGELookup[P], observed P, outcome *bool) (o
 
 func (t *TAGE[P]) allocate(lk *TAGELookup[P], observed P) {
 	start := lk.Provider + 1
-	// Collect candidate components with a non-useful victim.
-	var candidates []int
+	// Only the first two components with a non-useful victim can ever be
+	// picked, so track them directly instead of building a candidate slice
+	// (this runs on every mispredicted update — keep it allocation-free).
+	first, second := -1, -1
 	for i := start; i < len(t.tables); i++ {
 		if t.tables[i][lk.indices[i]].u == 0 {
-			candidates = append(candidates, i)
+			if first < 0 {
+				first = i
+			} else {
+				second = i
+				break
+			}
 		}
 	}
-	if len(candidates) == 0 {
+	if first < 0 {
 		for i := start; i < len(t.tables); i++ {
 			t.tables[i][lk.indices[i]].u = 0
 		}
@@ -263,9 +318,9 @@ func (t *TAGE[P]) allocate(lk *TAGELookup[P], observed P) {
 	}
 	// Prefer the shortest candidate history, with a 1-in-2 chance of
 	// skipping to the next (the classic TAGE allocation tie-breaker).
-	pick := candidates[0]
-	if len(candidates) > 1 && t.rng != nil && t.rng.Intn(2) == 0 {
-		pick = candidates[1]
+	pick := first
+	if second >= 0 && t.rng != nil && t.rng.Intn(2) == 0 {
+		pick = second
 	}
 	e := &t.tables[pick][lk.indices[pick]]
 	*e = tagePayloadEntry[P]{payload: observed, tag: lk.tags[pick], valid: true}
@@ -280,6 +335,8 @@ type GShare[P comparable] struct {
 	ghTab   []gshareEntry[P]
 	conf    ConfPolicy
 	histLen int
+	pcMask  uint32 // pow2 fast path, 0 = modulo fallback
+	ghMask  uint32
 }
 
 type gshareEntry[P comparable] struct {
@@ -297,6 +354,8 @@ func NewGShare[P comparable](pcEntries, ghEntries, histLen int, conf ConfPolicy)
 		ghTab:   make([]gshareEntry[P], ghEntries),
 		conf:    conf,
 		histLen: histLen,
+		pcMask:  Pow2Mask(pcEntries),
+		ghMask:  Pow2Mask(ghEntries),
 	}
 }
 
@@ -312,9 +371,17 @@ type GShareLookup[P comparable] struct {
 // Lookup predicts the payload for pc under hist.
 func (g *GShare[P]) Lookup(pc uint64, hist *GlobalHistory) GShareLookup[P] {
 	var lk GShareLookup[P]
-	lk.pcIdx = uint32((pc >> 2) % uint64(len(g.pcTab)))
 	h := uint64(hist.Fold(0))
-	lk.ghIdx = uint32((pc>>2 ^ h ^ h<<5) % uint64(len(g.ghTab)))
+	if g.pcMask != 0 {
+		lk.pcIdx = uint32(pc>>2) & g.pcMask
+	} else {
+		lk.pcIdx = uint32((pc >> 2) % uint64(len(g.pcTab)))
+	}
+	if g.ghMask != 0 {
+		lk.ghIdx = uint32(pc>>2^h^h<<5) & g.ghMask
+	} else {
+		lk.ghIdx = uint32((pc>>2 ^ h ^ h<<5) % uint64(len(g.ghTab)))
+	}
 	pcE, ghE := &g.pcTab[lk.pcIdx], &g.ghTab[lk.ghIdx]
 	if g.conf.AtLeast(ghE.conf, 1) && ghE.conf >= pcE.conf {
 		lk.Payload, lk.Conf, lk.FromGH = ghE.payload, ghE.conf, true

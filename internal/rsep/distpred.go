@@ -26,6 +26,10 @@ type DistPredictor interface {
 	// Lookup predicts the IDist for pc under the global branch/path
 	// history.
 	Lookup(pc uint64, hist *predictor.GlobalHistory) DistLookup
+	// LookupInto is Lookup writing its result in place (the pipeline
+	// points it at arena-resident scratch so prediction state carried by
+	// an inflight instruction never moves and never heap-allocates).
+	LookupInto(lk *DistLookup, pc uint64, hist *predictor.GlobalHistory)
 	// Update trains with the observed distance (0 = no pair found) and
 	// reports whether the lookup had predicted it.
 	Update(lk *DistLookup, observed uint16) bool
@@ -106,15 +110,21 @@ func NewTAGEDist(cfg TAGEDistConfig, conf predictor.ConfPolicy, rng *rand.Rand) 
 
 // Lookup implements DistPredictor.
 func (d *TAGEDist) Lookup(pc uint64, hist *predictor.GlobalHistory) DistLookup {
-	lk := DistLookup{isTage: true}
-	lk.tage = d.tage.Lookup(pc, hist)
+	var lk DistLookup
+	d.LookupInto(&lk, pc, hist)
+	return lk
+}
+
+// LookupInto implements DistPredictor.
+func (d *TAGEDist) LookupInto(lk *DistLookup, pc uint64, hist *predictor.GlobalHistory) {
+	lk.Dist, lk.UsePred, lk.Train, lk.isTage = 0, false, false, true
+	d.tage.LookupInto(&lk.tage, pc, hist)
 	lk.Dist = lk.tage.Payload
 	if lk.Dist != 0 {
 		lk.UsePred = d.conf.AtLeast(lk.tage.Conf, d.cfg.UsePredThreshold)
 		lk.Train = d.cfg.StartTrainThreshold > 0 &&
 			d.conf.AtLeast(lk.tage.Conf, d.cfg.StartTrainThreshold)
 	}
-	return lk
 }
 
 // Update implements DistPredictor.
@@ -184,13 +194,19 @@ func NewGShareDist(pcEntries, ghEntries, histLen, distBits, usePred, startTrain 
 // Lookup implements DistPredictor.
 func (d *GShareDist) Lookup(pc uint64, hist *predictor.GlobalHistory) DistLookup {
 	var lk DistLookup
+	d.LookupInto(&lk, pc, hist)
+	return lk
+}
+
+// LookupInto implements DistPredictor.
+func (d *GShareDist) LookupInto(lk *DistLookup, pc uint64, hist *predictor.GlobalHistory) {
+	lk.Dist, lk.UsePred, lk.Train, lk.isTage = 0, false, false, false
 	lk.gshare = d.g.Lookup(pc, hist)
 	lk.Dist = lk.gshare.Payload
 	if lk.Dist != 0 {
 		lk.UsePred = d.conf.AtLeast(lk.gshare.Conf, d.usePred)
 		lk.Train = d.startTrain > 0 && d.conf.AtLeast(lk.gshare.Conf, d.startTrain)
 	}
-	return lk
 }
 
 // Update implements DistPredictor.

@@ -7,7 +7,10 @@
 // section sweeps.
 package rsep
 
-import "rsepsim/internal/regfile"
+import (
+	"rsepsim/internal/predictor"
+	"rsepsim/internal/regfile"
+)
 
 // FoldHash XOR-folds a 64-bit value into a bits-wide hash, iteratively
 // folding bits-wide chunks as §IV-A describes. bits should not be a power of
@@ -32,14 +35,19 @@ func FoldHash(v uint64, bits uint) uint32 {
 // Commit (§IV-A). Management is trivial because it exactly mirrors PRF
 // allocation.
 type HRF struct {
-	hashes []uint32
+	hashes []uint32 // padded to a power of two so indexing masks (no bounds check)
+	mask   uint32
+	npregs int
 	bits   uint
 }
 
 // NewHRF builds an HRF covering npregs physical registers with bits-wide
-// hashes (the paper uses 14).
+// hashes (the paper uses 14). The backing array is padded to a power of two
+// so the writeback/commit accesses compile to a masked load with no bounds
+// check; padding slots are never addressed by a live register.
 func NewHRF(npregs int, bits uint) *HRF {
-	return &HRF{hashes: make([]uint32, npregs), bits: bits}
+	size := predictor.Pow2Ceil(npregs)
+	return &HRF{hashes: make([]uint32, size), mask: uint32(size - 1), npregs: npregs, bits: bits}
 }
 
 // Bits reports the hash width.
@@ -49,7 +57,7 @@ func (h *HRF) Bits() uint { return h.bits }
 // writeback).
 func (h *HRF) Write(p regfile.PReg, value uint64) {
 	if p > 0 {
-		h.hashes[p] = FoldHash(value, h.bits)
+		h.hashes[uint32(p)&h.mask] = FoldHash(value, h.bits)
 	}
 }
 
@@ -58,8 +66,9 @@ func (h *HRF) Read(p regfile.PReg) uint32 {
 	if p <= 0 {
 		return 0 // the zero register hashes to 0
 	}
-	return h.hashes[p]
+	return h.hashes[uint32(p)&h.mask]
 }
 
-// StorageBits reports the HRF storage in bits.
-func (h *HRF) StorageBits() int { return len(h.hashes) * int(h.bits) }
+// StorageBits reports the HRF storage in bits (the modelled hardware covers
+// exactly npregs registers; the software padding is not charged).
+func (h *HRF) StorageBits() int { return h.npregs * int(h.bits) }

@@ -1,5 +1,7 @@
 package rsep
 
+import "rsepsim/internal/predictor"
+
 // Pairer is the commit-side structure that, given the hash of a committing
 // instruction's result, finds an older instruction that produced the same
 // hash and returns the instruction distance (IDist) between them. Two
@@ -26,15 +28,26 @@ type Pairer interface {
 // the CSN difference; entries store their CSN (10 bits in the paper's
 // 768-byte sizing).
 //
-// A hash index accelerates the software model: Find is O(1) instead of the
-// hardware's parallel comparators. The modelled behaviour is identical —
-// the index returns the most recent older match, and the predicted distance
+// A hash index accelerates the software model: Find is O(1) expected instead
+// of the hardware's parallel comparators. The modelled behaviour is identical
+// — the index returns the most recent older match, and the predicted distance
 // is privileged by probing that exact slot first.
+//
+// Data layout (DESIGN.md §3.2): the index is a flat chain-through-ring
+// scheme, not a map. A power-of-two array of bucket heads records the most
+// recent CSN pushed into each bucket, and every ring entry links to the
+// previous CSN of its bucket chain. Because ring slots hold consecutive CSNs,
+// an entry is live exactly when its CSN is inside [minCSN, nextCSN), so a
+// chain walk terminates at the window edge without ever deleting anything:
+// residency is bounded by the ring capacity by construction, and Push/Find
+// are allocation-free and cache-resident.
 type FIFOHistory struct {
 	ring     []histEntry
-	index    map[uint32]uint64 // hash -> most recent CSN
-	size     int               // configured size (0 = "unbounded")
-	capacity int               // actual ring capacity
+	heads    []uint64 // bucket -> most recent CSN pushed there (noCSN if none)
+	bktMask  uint32   // len(heads) - 1 (power of two)
+	ringMask uint64   // capacity-1 when capacity is a power of two, else 0
+	size     int      // configured size (0 = "unbounded")
+	capacity int      // actual ring capacity
 	hashBits int
 	csnBits  int
 
@@ -45,9 +58,13 @@ type FIFOHistory struct {
 
 type histEntry struct {
 	hash  uint32
-	csn   uint64
 	valid bool
+	csn   uint64
+	prev  uint64 // previous CSN in this entry's bucket chain (noCSN if none)
 }
+
+// noCSN terminates bucket chains.
+const noCSN = ^uint64(0)
 
 // NewFIFOHistory builds a history of n entries (n = 0 means unbounded — the
 // "ideal, much larger than the ROB" configuration of §VI-A1, realised as a
@@ -58,31 +75,48 @@ func NewFIFOHistory(n, hashBits, csnBits int) *FIFOHistory {
 	if capacity <= 0 {
 		capacity = 1 << 16
 	}
-	return &FIFOHistory{
+	// Twice the capacity of buckets (rounded to a power of two) keeps
+	// expected chain occupancy below one entry per bucket.
+	nb := predictor.Pow2Ceil(2 * capacity)
+	h := &FIFOHistory{
 		size:     n,
 		capacity: capacity,
 		ring:     make([]histEntry, capacity),
+		heads:    make([]uint64, nb),
+		bktMask:  uint32(nb - 1),
 		hashBits: hashBits,
 		csnBits:  csnBits,
-		index:    make(map[uint32]uint64),
 	}
+	h.ringMask = uint64(predictor.Pow2Mask(capacity))
+	for i := range h.heads {
+		h.heads[i] = noCSN
+	}
+	return h
+}
+
+func (h *FIFOHistory) slot(csn uint64) uint64 {
+	if h.ringMask != 0 {
+		return csn & h.ringMask
+	}
+	return csn % uint64(h.capacity)
 }
 
 // Push implements Pairer.
 func (h *FIFOHistory) Push(hash uint32, csn uint64) {
 	h.nextCSN = csn + 1
-	h.ring[csn%uint64(h.capacity)] = histEntry{hash: hash, csn: csn, valid: true}
+	b := hash & h.bktMask
+	h.ring[h.slot(csn)] = histEntry{hash: hash, csn: csn, prev: h.heads[b], valid: true}
+	h.heads[b] = csn
 	if csn+1 > uint64(h.capacity) {
 		h.minCSN = csn + 1 - uint64(h.capacity)
 	}
-	h.index[hash] = csn
 }
 
 func (h *FIFOHistory) lookupAt(csn uint64) (histEntry, bool) {
 	if csn >= h.nextCSN || csn < h.minCSN {
 		return histEntry{}, false
 	}
-	e := h.ring[csn%uint64(h.capacity)]
+	e := h.ring[h.slot(csn)]
 	if !e.valid || e.csn != csn {
 		return histEntry{}, false
 	}
@@ -102,8 +136,19 @@ func (h *FIFOHistory) Find(hash uint32, csn uint64, predicted uint16) (uint16, b
 			return predicted, true
 		}
 	}
-	last, ok := h.index[hash]
-	if !ok || last >= csn || last < h.minCSN {
+	// Walk this hash's bucket chain from the most recent entry. The first
+	// same-hash entry is the most recent push of that hash; entries older
+	// than the window terminate the walk (their slots may be recycled).
+	last := noCSN
+	for c := h.heads[hash&h.bktMask]; c != noCSN && c >= h.minCSN; {
+		e := &h.ring[h.slot(c)]
+		if e.hash == hash {
+			last = c
+			break
+		}
+		c = e.prev
+	}
+	if last == noCSN || last >= csn {
 		return 0, false
 	}
 	d := csn - last
@@ -112,6 +157,17 @@ func (h *FIFOHistory) Find(hash uint32, csn uint64, predicted uint16) (uint16, b
 	}
 	h.Matches++
 	return uint16(d), true
+}
+
+// Residency reports how many pushed entries are currently indexed — by
+// construction never more than the ring capacity, regardless of how many
+// entries have been pushed (the map index this scheme replaced retained one
+// stale key per distinct hash ever seen).
+func (h *FIFOHistory) Residency() int {
+	if h.nextCSN-h.minCSN < uint64(h.capacity) {
+		return int(h.nextCSN - h.minCSN)
+	}
+	return h.capacity
 }
 
 // StorageBits implements Pairer: per-entry hash plus CSN (the explicit

@@ -235,6 +235,84 @@ func TestQuickFIFOHistoryConsistency(t *testing.T) {
 	}
 }
 
+// The flat chain-through-ring index must stay bounded at ring capacity no
+// matter how many entries stream through — the map index it replaced kept one
+// stale key per distinct hash ever pushed, growing without bound on long
+// runs — and pushing/probing in steady state must not allocate at all.
+func TestFIFOHistoryBoundedResidency(t *testing.T) {
+	const capacity = 128
+	h := NewFIFOHistory(capacity, 14, 10)
+	csn := uint64(0)
+	push := func(n int) {
+		for i := 0; i < n; i++ {
+			hash := FoldHash(csn*0x9e3779b97f4a7c15, 14) // ~every hash distinct
+			h.Find(hash, csn, uint16(csn%7))
+			h.Push(hash, csn)
+			csn++
+		}
+	}
+	push(capacity / 2)
+	if got := h.Residency(); got != capacity/2 {
+		t.Fatalf("partial-fill residency = %d, want %d", got, capacity/2)
+	}
+	// Stream 2^20 entries (8192x the capacity) through the window.
+	for i := 0; i < 1<<20/capacity; i++ {
+		push(capacity)
+		if got := h.Residency(); got > capacity {
+			t.Fatalf("residency = %d after %d pushes, want <= %d", got, csn, capacity)
+		}
+	}
+	if allocs := testing.AllocsPerRun(10, func() { push(1024) }); allocs != 0 {
+		t.Errorf("steady-state Push/Find allocated %.1f times per 1024 entries, want 0", allocs)
+	}
+	// The window edge still behaves: a pair one inside the window is found,
+	// one outside is not.
+	h = NewFIFOHistory(capacity, 14, 10)
+	h.Push(42, 0)
+	for c := uint64(1); c < capacity; c++ {
+		h.Push(1000+uint32(c), c)
+	}
+	if d, ok := h.Find(42, capacity, 0); !ok || d != capacity {
+		t.Fatalf("edge Find = %d,%v, want %d,true", d, ok, capacity)
+	}
+	h.Push(2000, capacity) // evicts CSN 0
+	if _, ok := h.Find(42, capacity+1, 0); ok {
+		t.Fatal("Find matched an entry evicted from the ring")
+	}
+}
+
+// Differential property: the flat index reproduces the reference semantics —
+// "most recent push of the hash, if still inside the ring window" — under
+// heavy collision pressure.
+func TestQuickFIFOHistoryMatchesReferenceIndex(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const capacity = 16
+		h := NewFIFOHistory(capacity, 14, 10)
+		ref := map[uint32]uint64{} // hash -> most recent CSN (never cleaned)
+		steps := int(n%400) + 50
+		for csn := uint64(0); csn < uint64(steps); csn++ {
+			hash := uint32(rng.Intn(6))
+			gotD, gotOK := h.Find(hash, csn, 0)
+			var minCSN uint64
+			if csn > capacity {
+				minCSN = csn - capacity
+			}
+			last, ok := ref[hash]
+			wantOK := ok && last < csn && last >= minCSN
+			if gotOK != wantOK || (wantOK && uint64(gotD) != csn-last) {
+				return false
+			}
+			h.Push(hash, csn)
+			ref[hash] = csn
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestImplicitHistoryDistance(t *testing.T) {
 	h := NewImplicitHistory(16, 14)
 	h.PushProducer(100)

@@ -9,6 +9,7 @@ import "rsepsim/internal/predictor"
 type ZeroPredictor struct {
 	conf    predictor.ConfPolicy
 	entries []uint8 // confidence; an entry learns "always zero lately"
+	mask    uint32  // pow2 fast path, 0 = modulo fallback
 	usePred int
 
 	Lookups, Predicted uint64
@@ -20,7 +21,9 @@ func NewZeroPredictor(entries, usePred int, conf predictor.ConfPolicy) *ZeroPred
 	if conf == nil {
 		conf = predictor.DetPolicy{}
 	}
-	return &ZeroPredictor{conf: conf, entries: make([]uint8, entries), usePred: usePred}
+	z := &ZeroPredictor{conf: conf, entries: make([]uint8, entries), usePred: usePred}
+	z.mask = predictor.Pow2Mask(entries)
+	return z
 }
 
 // ZeroLookup carries prediction state to Update.
@@ -32,7 +35,12 @@ type ZeroLookup struct {
 // Lookup predicts whether the instruction at pc will produce zero.
 func (z *ZeroPredictor) Lookup(pc uint64) ZeroLookup {
 	z.Lookups++
-	idx := uint32((pc >> 2) % uint64(len(z.entries)))
+	var idx uint32
+	if z.mask != 0 {
+		idx = uint32(pc>>2) & z.mask
+	} else {
+		idx = uint32((pc >> 2) % uint64(len(z.entries)))
+	}
 	lk := ZeroLookup{idx: idx}
 	if z.conf.AtLeast(z.entries[idx], z.usePred) {
 		lk.PredictZero = true

@@ -9,6 +9,8 @@ package storeset
 type Table struct {
 	ssit     []int32 // PC hash -> SSID (-1 invalid)
 	lfst     []lfstEntry
+	ssitMask uint32 // pow2 fast path (Table I sizes are powers of two)
+	lfstMask int32  // pow2 fast path; 0 = modulo fallback
 	nextSSID int32
 
 	Violations, Merges uint64
@@ -25,18 +27,32 @@ func New(ssitEntries, lfstEntries int) *Table {
 		ssit: make([]int32, ssitEntries),
 		lfst: make([]lfstEntry, lfstEntries),
 	}
+	if ssitEntries > 0 && ssitEntries&(ssitEntries-1) == 0 {
+		t.ssitMask = uint32(ssitEntries - 1)
+	}
+	if lfstEntries > 0 && lfstEntries&(lfstEntries-1) == 0 {
+		t.lfstMask = int32(lfstEntries - 1)
+	}
 	for i := range t.ssit {
 		t.ssit[i] = -1
 	}
 	return t
 }
 
-func (t *Table) ssitIdx(pc uint64) int { return int((pc >> 2) % uint64(len(t.ssit))) }
+func (t *Table) ssitIdx(pc uint64) int {
+	if t.ssitMask != 0 {
+		return int(uint32(pc>>2) & t.ssitMask)
+	}
+	return int((pc >> 2) % uint64(len(t.ssit)))
+}
 
 func (t *Table) ssid(pc uint64) int32 {
 	id := t.ssit[t.ssitIdx(pc)]
 	if id < 0 {
 		return -1
+	}
+	if t.lfstMask != 0 {
+		return id & t.lfstMask
 	}
 	return id % int32(len(t.lfst))
 }

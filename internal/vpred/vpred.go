@@ -46,10 +46,11 @@ type lvtEntry struct {
 
 // DVTAGE is the predictor.
 type DVTAGE struct {
-	cfg  Config
-	lvt  []lvtEntry
-	tage *predictor.TAGE[int64]
-	conf predictor.ConfPolicy
+	cfg     Config
+	lvt     []lvtEntry
+	lvtMask uint32 // pow2 fast path for LVT indexing, 0 = modulo fallback
+	tage    *predictor.TAGE[int64]
+	conf    predictor.ConfPolicy
 
 	Lookups, Used, Correct, Wrong uint64
 }
@@ -69,12 +70,14 @@ func New(cfg Config, conf predictor.ConfPolicy, rng *rand.Rand) *DVTAGE {
 	for range cfg.TagBits {
 		tcfg.TableEntries = append(tcfg.TableEntries, cfg.TaggedEntries)
 	}
-	return &DVTAGE{
+	d := &DVTAGE{
 		cfg:  cfg,
 		lvt:  make([]lvtEntry, cfg.LVTEntries),
 		tage: predictor.NewTAGE[int64](tcfg, conf, rng),
 		conf: conf,
 	}
+	d.lvtMask = predictor.Pow2Mask(cfg.LVTEntries)
+	return d
 }
 
 // Lookup carries the prediction and its training state.
@@ -110,9 +113,21 @@ func (d *DVTAGE) HistoryLengths() []int { return d.cfg.HistLens }
 // older instance still advances the committed value by one stride before
 // this one retires). The counter is decremented at commit and on squash.
 func (d *DVTAGE) Lookup(pc uint64, hist *predictor.GlobalHistory) Lookup {
+	var lk Lookup
+	d.LookupInto(&lk, pc, hist)
+	return lk
+}
+
+// LookupInto is Lookup writing its result in place (the pipeline points it at
+// the inflight instruction's arena record so prediction state never moves).
+func (d *DVTAGE) LookupInto(lk *Lookup, pc uint64, hist *predictor.GlobalHistory) {
 	d.Lookups++
-	lk := Lookup{lvtIdx: uint32((pc >> 2) % uint64(len(d.lvt)))}
-	lk.tage = d.tage.Lookup(pc, hist)
+	if d.lvtMask != 0 {
+		lk.lvtIdx = uint32(pc>>2) & d.lvtMask
+	} else {
+		lk.lvtIdx = uint32((pc >> 2) % uint64(len(d.lvt)))
+	}
+	d.tage.LookupInto(&lk.tage, pc, hist)
 	e := &d.lvt[lk.lvtIdx]
 	lk.UsePred = d.tage.ConfAtLeast(&lk.tage, d.cfg.UsePredThreshold)
 	lk.Value = e.lastCommit + uint64(lk.tage.Payload)*uint64(e.inflight+1)
@@ -120,7 +135,6 @@ func (d *DVTAGE) Lookup(pc uint64, hist *predictor.GlobalHistory) Lookup {
 	if lk.UsePred {
 		d.Used++
 	}
-	return lk
 }
 
 // Squash releases the inflight slot of a lookup whose instruction was
