@@ -140,6 +140,27 @@ func benchPipeline(b *testing.B, cfg *config.Config) {
 	b.ReportMetric(float64(insts), "insts/op")
 }
 
+// BenchmarkPipelineWarmWorker measures the steady-state worker job cost: the
+// core is reset in place per job (pipeline.Core.ResetFor) instead of rebuilt,
+// exactly as the runner's core pool does between jobs. The gap between this
+// and BenchmarkPipelineBaseline is the per-job construction tax the pool
+// eliminates; allocs/op here is essentially the workload generator alone.
+func BenchmarkPipelineWarmWorker(b *testing.B) {
+	const insts = 50_000
+	cfg := config.TableI()
+	prof := workload.MustByName("mcf")
+	core := pipeline.New(cfg, workload.New(prof, 42))
+	core.Run(insts) // warm: grow arena, wheels, queues to the job's footprint
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !core.ResetFor(cfg, workload.New(prof, 42)) {
+			b.Fatal("ResetFor refused the identical config")
+		}
+		core.Run(insts)
+	}
+	b.ReportMetric(float64(insts), "insts/op")
+}
+
 // BenchmarkWorkloadGen measures trace generation throughput alone.
 func BenchmarkWorkloadGen(b *testing.B) {
 	prof := workload.MustByName("xalancbmk")

@@ -8,6 +8,12 @@
 //
 //	go test -run XXX -bench 'BenchmarkPipeline' -benchtime 3x -count 5 . | benchjson -o BENCH_PIPELINE.json
 //	go test -bench . -benchtime 1x . | benchjson            # JSON on stdout
+//
+// With -gate it additionally compares allocs/op and B/op against a committed
+// baseline report and exits non-zero on a regression beyond -gate-tolerance
+// (default 5%); time is never gated because shared runners make it too noisy:
+//
+//	go test -run XXX -bench ... -benchmem . | benchjson -gate BENCH_PIPELINE.json > /dev/null
 package main
 
 import (
@@ -48,9 +54,47 @@ func median(v []float64) float64 {
 	return (v[n/2-1] + v[n/2]) / 2
 }
 
+// gate compares the fresh results against a committed baseline report and
+// returns the list of violations: any benchmark present in both whose
+// allocs/op or B/op grew by more than tol. Time is deliberately not gated —
+// shared CI runners make ns/op too noisy to fail a build on — but allocation
+// counts are deterministic, so they gate hard.
+func gate(fresh []result, baselinePath string, tol float64) ([]string, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	byName := map[string]result{}
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	var bad []string
+	for _, r := range fresh {
+		b, ok := byName[r.Name]
+		if !ok {
+			continue // new benchmark: nothing to regress against
+		}
+		check := func(metric string, old, new float64) {
+			if old > 0 && new > old*(1+tol) {
+				bad = append(bad, fmt.Sprintf("%s: %s %.0f -> %.0f (+%.1f%%, limit +%.0f%%)",
+					r.Name, metric, old, new, (new/old-1)*100, tol*100))
+			}
+		}
+		check("allocs/op", b.AllocsPerOp, r.AllocsPerOp)
+		check("B/op", b.BytesPerOp, r.BytesPerOp)
+	}
+	return bad, nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	commit := flag.String("commit", "", "commit hash to record")
+	gateFile := flag.String("gate", "", "baseline JSON to gate against: exit 1 if allocs/op or B/op regresses beyond -gate-tolerance")
+	gateTol := flag.Float64("gate-tolerance", 0.05, "fractional regression allowed by -gate")
 	flag.Parse()
 
 	// benchjson runs with the same toolchain that ran the benchmarks.
@@ -145,5 +189,20 @@ func main() {
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+
+	if *gateFile != "" {
+		bad, err := gate(rep.Benchmarks, *gateFile, *gateTol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: gate:", err)
+			os.Exit(1)
+		}
+		for _, line := range bad {
+			fmt.Fprintln(os.Stderr, "benchjson: regression:", line)
+		}
+		if len(bad) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: gate vs %s passed (tolerance +%.0f%%)\n", *gateFile, *gateTol*100)
 	}
 }

@@ -84,6 +84,24 @@ func New(rng *rand.Rand) *Predictor {
 // predictors.
 func (p *Predictor) History() *predictor.GlobalHistory { return p.hist }
 
+// Reset clears all learned state — history, direction tables, BTB, RAS — and
+// statistics in place, as if freshly constructed. The tie-breaker RNG is
+// shared with the other predictors and must be reseeded by the owner.
+func (p *Predictor) Reset() {
+	p.hist.Reset()
+	clear(p.bimodal)
+	for _, tbl := range p.tables {
+		clear(tbl)
+	}
+	for i := range p.btb {
+		p.btb[i] = [btbWays]btbEntry{}
+	}
+	p.ras = [rasDepth]uint64{}
+	p.top = 0
+	p.ticks = 0
+	p.CondLookups, p.CondMispredicts, p.BTBMisses = 0, 0, 0
+}
+
 // Prediction carries the front-end prediction and the state needed to update
 // or repair the predictor when the branch resolves.
 type Prediction struct {

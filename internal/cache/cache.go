@@ -33,27 +33,32 @@ type Config struct {
 }
 
 type line struct {
-	tag      uint64
 	fillTime uint64 // cycle at which the line's data arrived
-	lru      uint64
-	valid    bool
-	prefetch bool // brought in by the prefetcher and not yet demanded
-}
-
-type mshr struct {
-	lineAddr uint64
-	fillTime uint64
+	prefetch bool   // brought in by the prefetcher and not yet demanded
 }
 
 // Cache is one level of the hierarchy.
 type Cache struct {
-	cfg     Config
-	sets    [][]line
+	cfg   Config
+	lines []line // flat set-major storage: set s occupies lines[s*ways : (s+1)*ways]
+	// tags holds lineAddr<<1|1 per way (0 = invalid) and lru the last-touch
+	// tick, both parallel to lines. The hit scan walks tags and the victim
+	// scan walks lru — each a dense array where a whole set spans one or two
+	// cache lines — instead of striding the fatter line records.
+	tags    []uint64
+	lru     []uint64
+	mru     []uint32 // per-set way hint: the way that hit most recently
+	ways    int
 	nsets   uint64
 	setMask uint64 // nsets-1 when nsets is a power of two, else 0
-	next    Backend
-	mshrs   []mshr
-	tick    uint64
+	filled  int    // valid lines; lines never invalidate, so once full the
+	// victim scan skips straight to LRU selection
+	next Backend
+	// Outstanding misses as parallel arrays (line address / fill time).
+	mshrAddr []uint64
+	mshrFill []uint64
+	mshrMin  uint64 // earliest outstanding fillTime; purge is a no-op before it
+	tick     uint64
 
 	// Stats
 	Accesses, Misses, PrefetchIssued, PrefetchUseful, MSHRStalls uint64
@@ -62,18 +67,39 @@ type Cache struct {
 // New builds a cache level in front of next.
 func New(cfg Config, next Backend) *Cache {
 	nsets := cfg.SizeKB * 1024 / LineBytes / cfg.Ways
-	c := &Cache{cfg: cfg, nsets: uint64(nsets), next: next}
+	c := &Cache{cfg: cfg, ways: cfg.Ways, nsets: uint64(nsets), next: next}
 	// All Table I geometries have power-of-two set counts, so the hot-path
 	// set index is a mask instead of a modulo; setIndex falls back to the
 	// division for exotic configurations.
 	if nsets > 0 && nsets&(nsets-1) == 0 {
 		c.setMask = uint64(nsets) - 1
 	}
-	c.sets = make([][]line, nsets)
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
-	}
+	// One flat set-major array instead of a slice per set: a single
+	// allocation (an L3 has thousands of sets) and no pointer hop between
+	// the set index and the ways.
+	c.lines = make([]line, nsets*cfg.Ways)
+	c.tags = make([]uint64, nsets*cfg.Ways)
+	c.lru = make([]uint64, nsets*cfg.Ways)
+	c.mru = make([]uint32, nsets)
 	return c
+}
+
+// Reset clears all cached state and statistics in place, reusing the line
+// storage — the cache behaves exactly like a freshly constructed one.
+func (c *Cache) Reset() {
+	clear(c.lines)
+	clear(c.tags)
+	clear(c.lru)
+	clear(c.mru)
+	c.filled = 0
+	c.mshrAddr = c.mshrAddr[:0]
+	c.mshrFill = c.mshrFill[:0]
+	c.mshrMin = 0
+	c.tick = 0
+	c.Accesses, c.Misses, c.PrefetchIssued, c.PrefetchUseful, c.MSHRStalls = 0, 0, 0, 0, 0
+	if c.cfg.Prefetch != nil {
+		c.cfg.Prefetch.Reset()
+	}
 }
 
 func (c *Cache) setIndex(lineAddr uint64) uint64 {
@@ -86,38 +112,68 @@ func (c *Cache) setIndex(lineAddr uint64) uint64 {
 // Name returns the level's configured name.
 func (c *Cache) Name() string { return c.cfg.Name }
 
-func (c *Cache) findLine(lineAddr uint64) *line {
-	set := c.sets[c.setIndex(lineAddr)]
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			return &set[i]
+// findLine returns the global way index of the resident line, or -1. The
+// caller touches c.lru / c.lines through the index.
+func (c *Cache) findLine(lineAddr uint64) int {
+	si := c.setIndex(lineAddr)
+	base := si * uint64(c.ways)
+	tags := c.tags[base : base+uint64(c.ways)]
+	key := lineAddr<<1 | 1
+	// MRU fast path: tags are unique within a set, so a hint hit is the
+	// same line the way-order scan would return.
+	if m := uint64(c.mru[si]); m < uint64(len(tags)) && tags[m] == key {
+		return int(base + m)
+	}
+	for i := range tags {
+		if tags[i] == key {
+			c.mru[si] = uint32(i)
+			return int(base + uint64(i))
 		}
 	}
-	return nil
+	return -1
 }
 
-func (c *Cache) victim(lineAddr uint64) *line {
-	set := c.sets[c.setIndex(lineAddr)]
-	v := &set[0]
-	for i := range set {
-		if !set[i].valid {
-			return &set[i]
-		}
-		if set[i].lru < v.lru {
-			v = &set[i]
+// victim returns the global way index to fill for lineAddr: the first invalid
+// way, else the set's LRU way.
+func (c *Cache) victim(lineAddr uint64) (uint64, uint32) {
+	si := c.setIndex(lineAddr)
+	base := si * uint64(c.ways)
+	if c.filled < len(c.lines) {
+		tags := c.tags[base : base+uint64(c.ways)]
+		for i := range tags {
+			if tags[i] == 0 {
+				c.filled++
+				return si, uint32(i)
+			}
 		}
 	}
-	return v
+	lru := c.lru[base : base+uint64(c.ways)]
+	vw := uint32(0)
+	for i := range lru {
+		if lru[i] < lru[vw] {
+			vw = uint32(i)
+		}
+	}
+	return si, vw
 }
 
 func (c *Cache) purgeMSHRs(cycle uint64) {
-	out := c.mshrs[:0]
-	for _, m := range c.mshrs {
-		if m.fillTime > cycle {
-			out = append(out, m)
+	if c.mshrMin > cycle {
+		return // nothing can have retired yet
+	}
+	addrs, fills := c.mshrAddr[:0], c.mshrFill[:0]
+	min := ^uint64(0)
+	for i, f := range c.mshrFill {
+		if f > cycle {
+			addrs = append(addrs, c.mshrAddr[i])
+			fills = append(fills, f)
+			if f < min {
+				min = f
+			}
 		}
 	}
-	c.mshrs = out
+	c.mshrAddr, c.mshrFill = addrs, fills
+	c.mshrMin = min
 }
 
 // Access implements Backend. Demand accesses train the prefetcher with the
@@ -147,8 +203,9 @@ func (c *Cache) AccessPC(addr, pc uint64, cycle uint64, write, prefetch bool) ui
 }
 
 func (c *Cache) lookupOrFill(lineAddr, cycle uint64, write, prefetch bool) uint64 {
-	if l := c.findLine(lineAddr); l != nil {
-		l.lru = c.tick
+	if gi := c.findLine(lineAddr); gi >= 0 {
+		c.lru[gi] = c.tick
+		l := &c.lines[gi]
 		if l.prefetch && !prefetch {
 			c.PrefetchUseful++
 			l.prefetch = false
@@ -167,19 +224,19 @@ func (c *Cache) lookupOrFill(lineAddr, cycle uint64, write, prefetch bool) uint6
 
 	// Merge with an outstanding miss if present.
 	c.purgeMSHRs(cycle)
-	for _, m := range c.mshrs {
-		if m.lineAddr == lineAddr {
-			return m.fillTime + c.cfg.Latency
+	for i, a := range c.mshrAddr {
+		if a == lineAddr {
+			return c.mshrFill[i] + c.cfg.Latency
 		}
 	}
 
 	// MSHR full: wait for the earliest retirement.
 	issueCycle := cycle
-	if len(c.mshrs) >= c.cfg.MSHRs {
-		earliest := c.mshrs[0].fillTime
-		for _, m := range c.mshrs[1:] {
-			if m.fillTime < earliest {
-				earliest = m.fillTime
+	if len(c.mshrAddr) >= c.cfg.MSHRs {
+		earliest := c.mshrFill[0]
+		for _, f := range c.mshrFill[1:] {
+			if f < earliest {
+				earliest = f
 			}
 		}
 		if !prefetch {
@@ -192,14 +249,22 @@ func (c *Cache) lookupOrFill(lineAddr, cycle uint64, write, prefetch bool) uint6
 	}
 
 	fill := c.next.Access(lineAddr<<lineShift, issueCycle+c.cfg.Latency, write, prefetch)
-	v := c.victim(lineAddr)
-	*v = line{tag: lineAddr, fillTime: fill, lru: c.tick, valid: true, prefetch: prefetch}
-	c.mshrs = append(c.mshrs, mshr{lineAddr: lineAddr, fillTime: fill})
+	si, vw := c.victim(lineAddr)
+	gi := si*uint64(c.ways) + uint64(vw)
+	c.lines[gi] = line{fillTime: fill, prefetch: prefetch}
+	c.tags[gi] = lineAddr<<1 | 1
+	c.lru[gi] = c.tick
+	c.mru[si] = vw
+	if len(c.mshrAddr) == 0 || fill < c.mshrMin {
+		c.mshrMin = fill
+	}
+	c.mshrAddr = append(c.mshrAddr, lineAddr)
+	c.mshrFill = append(c.mshrFill, fill)
 	return fill + c.cfg.Latency
 }
 
 // Contains reports whether the line holding addr is resident (for tests).
-func (c *Cache) Contains(addr uint64) bool { return c.findLine(addr>>lineShift) != nil }
+func (c *Cache) Contains(addr uint64) bool { return c.findLine(addr>>lineShift) >= 0 }
 
 // MissRate returns misses/accesses for demand traffic.
 func (c *Cache) MissRate() float64 {

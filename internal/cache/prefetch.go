@@ -6,6 +6,8 @@ type Prefetcher interface {
 	// requesting PC (0 if unknown) and whether the access missed. It
 	// returns the addresses to prefetch (possibly none).
 	Observe(addr, pc uint64, miss bool) []uint64
+	// Reset clears all learned state in place, as if freshly constructed.
+	Reset()
 }
 
 // StridePrefetcher is the per-PC stride prefetcher attached to the L1D
@@ -33,6 +35,9 @@ type strideEntry struct {
 func NewStride(entries, degree int) *StridePrefetcher {
 	return &StridePrefetcher{entries: make([]strideEntry, entries), degree: degree, distance: 16}
 }
+
+// Reset implements Prefetcher.
+func (s *StridePrefetcher) Reset() { clear(s.entries) }
 
 // Observe implements Prefetcher.
 func (s *StridePrefetcher) Observe(addr, pc uint64, _ bool) []uint64 {
@@ -76,25 +81,40 @@ func (s *StridePrefetcher) Observe(addr, pc uint64, _ bool) []uint64 {
 // (Table I: "Stream prefetcher (degree 1)"). It detects ascending or
 // descending line streams within 4KB regions and prefetches the next line(s)
 // of a confirmed stream on each miss.
+// Stream state lives in dense parallel arrays (lastLine<<1|1 keys, 0 =
+// invalid) so the per-miss scan and LRU victim search stream small arrays
+// instead of striding fat records.
 type StreamPrefetcher struct {
-	streams []streamEntry
-	degree  int
-	clock   uint64
-	scratch []uint64
-}
-
-type streamEntry struct {
-	lastLine uint64
-	dir      int64 // +1 or -1
-	conf     uint8
-	lru      uint64
-	valid    bool
+	lastLine []uint64 // line<<1|1, 0 = invalid
+	dir      []int64  // +1 or -1
+	conf     []uint8
+	lru      []uint64
+	degree   int
+	clock    uint64
+	filled   int
+	scratch  []uint64
 }
 
 // NewStream returns a stream prefetcher tracking the given number of
 // concurrent streams.
 func NewStream(streams, degree int) *StreamPrefetcher {
-	return &StreamPrefetcher{streams: make([]streamEntry, streams), degree: degree}
+	return &StreamPrefetcher{
+		lastLine: make([]uint64, streams),
+		dir:      make([]int64, streams),
+		conf:     make([]uint8, streams),
+		lru:      make([]uint64, streams),
+		degree:   degree,
+	}
+}
+
+// Reset implements Prefetcher.
+func (s *StreamPrefetcher) Reset() {
+	clear(s.lastLine)
+	clear(s.dir)
+	clear(s.conf)
+	clear(s.lru)
+	s.clock = 0
+	s.filled = 0
 }
 
 // Observe implements Prefetcher.
@@ -106,92 +126,154 @@ func (s *StreamPrefetcher) Observe(addr, _ uint64, miss bool) []uint64 {
 	s.clock++
 
 	// Find a stream this miss extends.
-	for i := range s.streams {
-		e := &s.streams[i]
-		if !e.valid {
+	for i, ll := range s.lastLine {
+		if ll == 0 {
 			continue
 		}
-		d := int64(line) - int64(e.lastLine)
-		if d == e.dir || (e.conf == 0 && (d == 1 || d == -1)) {
-			e.dir = d
-			e.lastLine = line
-			e.lru = s.clock
-			if e.conf < 3 {
-				e.conf++
+		d := int64(line) - int64(ll>>1)
+		if d == s.dir[i] || (s.conf[i] == 0 && (d == 1 || d == -1)) {
+			s.dir[i] = d
+			s.lastLine[i] = line<<1 | 1
+			s.lru[i] = s.clock
+			if s.conf[i] < 3 {
+				s.conf[i]++
 			}
-			if e.conf < 2 {
+			if s.conf[i] < 2 {
 				return nil
 			}
 			s.scratch = s.scratch[:0]
-			next := int64(line) + e.dir*4 // run ahead of the stream
+			next := int64(line) + d*4 // run ahead of the stream
 			for k := 0; k < s.degree; k++ {
 				if next >= 0 {
 					s.scratch = append(s.scratch, uint64(next)<<lineShift)
 				}
-				next += e.dir
+				next += d
 			}
 			return s.scratch
 		}
 	}
 
-	// Allocate a new stream over the LRU victim.
-	victim := 0
-	for i := range s.streams {
-		if !s.streams[i].valid {
-			victim = i
-			break
-		}
-		if s.streams[i].lru < s.streams[victim].lru {
-			victim = i
+	// Allocate a new stream: the first invalid slot, else the LRU victim.
+	victim := -1
+	if s.filled < len(s.lastLine) {
+		for i, ll := range s.lastLine {
+			if ll == 0 {
+				victim = i
+				break
+			}
 		}
 	}
-	s.streams[victim] = streamEntry{lastLine: line, dir: 1, lru: s.clock, valid: true}
+	if victim < 0 {
+		victim = 0
+		for i, l := range s.lru {
+			if l < s.lru[victim] {
+				victim = i
+			}
+		}
+	} else {
+		s.filled++
+	}
+	s.lastLine[victim] = line<<1 | 1
+	s.dir[victim] = 1
+	s.conf[victim] = 0
+	s.lru[victim] = s.clock
 	return nil
 }
 
 // TLB is a fully associative, LRU translation buffer. Translation is
 // identity (the workloads use flat addressing); only timing matters: a miss
-// charges the page-walk penalty.
+// charges the page-walk penalty. Entries are stored as two dense parallel
+// arrays — page<<1|1 keys (0 = invalid) and last-touch clocks — so the
+// associative scan and the LRU victim scan each stream one small array.
 type TLB struct {
-	entries []tlbEntry
+	pages []uint64 // page<<1|1, 0 = invalid
+	lru   []uint64
+	// present is a counting filter over hashed page numbers: a zero slot
+	// proves the page is not resident, so the (miss-dominated on pointer
+	// chases) associative scan can be skipped. Counts never exceed the
+	// entry count, which is far below 255.
+	present []uint8
 	walk    uint64
 	clock   uint64
+	mru     int // index of the most recent hit
+	filled  int // valid entries; once == len(pages) the invalid scan is dead
 
 	Accesses, Misses uint64
 }
 
-type tlbEntry struct {
-	page  uint64
-	lru   uint64
-	valid bool
-}
-
-const pageShift = 12
+const (
+	pageShift     = 12
+	tlbFilterMask = 511
+)
 
 // NewTLB returns a TLB with the given entry count and page-walk latency.
 func NewTLB(entries int, walkLatency uint64) *TLB {
-	return &TLB{entries: make([]tlbEntry, entries), walk: walkLatency}
+	return &TLB{
+		pages:   make([]uint64, entries),
+		lru:     make([]uint64, entries),
+		present: make([]uint8, tlbFilterMask+1),
+		walk:    walkLatency,
+	}
 }
 
 // Lookup translates addr, returning the extra latency incurred (0 on hit).
 func (t *TLB) Lookup(addr uint64) uint64 {
 	page := addr >> pageShift
+	key := page<<1 | 1
 	t.Accesses++
 	t.clock++
-	victim := 0
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.valid && e.page == page {
-			e.lru = t.clock
-			return 0
-		}
-		if !e.valid {
-			victim = i
-		} else if t.entries[victim].valid && e.lru < t.entries[victim].lru {
-			victim = i
+	// MRU fast path. Sound because a hit returns before the full scan's
+	// victim selection ever matters, and victims are only chosen on a miss.
+	if m := t.mru; m < len(t.pages) && t.pages[m] == key {
+		t.lru[m] = t.clock
+		return 0
+	}
+	// The filter proves absence: only scan when the page might be resident.
+	if t.present[page&tlbFilterMask] != 0 {
+		for i, p := range t.pages {
+			if p == key {
+				t.lru[i] = t.clock
+				t.mru = i
+				return 0
+			}
 		}
 	}
+	// Miss: the last invalid entry wins (matching the historical one-pass
+	// scan), else the lowest-clock valid one.
+	victim := -1
+	if t.filled < len(t.pages) {
+		for i, p := range t.pages {
+			if p == 0 {
+				victim = i
+			}
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for i, l := range t.lru {
+			if l < t.lru[victim] {
+				victim = i
+			}
+		}
+	} else {
+		t.filled++
+	}
 	t.Misses++
-	t.entries[victim] = tlbEntry{page: page, lru: t.clock, valid: true}
+	if old := t.pages[victim]; old != 0 {
+		t.present[(old>>1)&tlbFilterMask]--
+	}
+	t.present[page&tlbFilterMask]++
+	t.pages[victim] = key
+	t.lru[victim] = t.clock
+	t.mru = victim
 	return t.walk
+}
+
+// Reset clears all translations and statistics in place.
+func (t *TLB) Reset() {
+	clear(t.pages)
+	clear(t.lru)
+	clear(t.present)
+	t.clock, t.mru, t.filled = 0, 0, 0
+	t.Accesses, t.Misses = 0, 0
 }

@@ -194,6 +194,20 @@ func (c *Config) Hash() string {
 	return hex.EncodeToString(sum[:16])
 }
 
+// SeedlessHash returns Hash with the Seed field normalized to zero: the
+// digest identifies the machine *geometry and mechanisms*, independent of the
+// RNG seed. The runner keys both its result cache and its reusable-core pool
+// on it — two jobs with the same SeedlessHash build structurally identical
+// cores, so one can be reset in place for the other.
+func (c *Config) SeedlessHash() string {
+	if c.Seed == 0 {
+		return c.Hash()
+	}
+	k := c.Clone()
+	k.Seed = 0
+	return k.Hash()
+}
+
 // Clone returns a deep copy (the RSEP and VP sub-configs are copied too).
 func (c *Config) Clone() *Config {
 	out := *c

@@ -58,6 +58,14 @@ func New(cfg Config) *Memory {
 	return &Memory{cfg: cfg, banks: make([]bank, cfg.Channels*cfg.Ranks*cfg.Banks)}
 }
 
+// Reset clears all bank state and statistics in place, as if freshly
+// constructed.
+func (m *Memory) Reset() {
+	clear(m.banks)
+	m.Reads, m.RowHits, m.RowConflicts = 0, 0, 0
+	m.totalLatency = 0
+}
+
 func (m *Memory) decode(addr uint64) (bankIdx int, row uint64) {
 	line := addr >> 6
 	ch := line % uint64(m.cfg.Channels)

@@ -41,3 +41,32 @@ func TestSteadyStateAllocations(t *testing.T) {
 		})
 	}
 }
+
+// TestWarmWorkerJobAllocations caps the allocations of a *whole job* on a
+// warm worker: build a new workload generator, reset the core in place and
+// simulate 50k instructions. The generator's functional memory (slab-backed
+// pages) and a handful of compile-time structures are all that remains — the
+// core itself contributes nothing. The bound is ~20x below the committed
+// cold-job figure (10,757 allocs) this round started from; it guards the
+// whole reuse path against regressing back to per-job construction.
+func TestWarmWorkerJobAllocations(t *testing.T) {
+	cfg := config.TableI()
+	prof := workload.MustByName("mcf")
+	const insts = 50_000
+	core := New(cfg, workload.New(prof, 42))
+	core.Run(insts)
+	if !core.ResetFor(cfg, workload.New(prof, 42)) {
+		t.Fatal("ResetFor refused the identical config")
+	}
+	core.Run(insts) // one full warm cycle so every retained buffer has grown
+	avg := testing.AllocsPerRun(3, func() {
+		if !core.ResetFor(cfg, workload.New(prof, 42)) {
+			t.Fatal("ResetFor refused the identical config")
+		}
+		core.Run(insts)
+	})
+	t.Logf("warm whole-job allocations: %.0f", avg)
+	if avg > 500 {
+		t.Errorf("warm whole-job allocations = %.0f, want <= 500", avg)
+	}
+}

@@ -23,22 +23,28 @@ const noDyn = ^uint32(0)
 // call to newDyn.
 func (c *Core) d(i uint32) *dyn { return &c.darena[i] }
 
-// newDyn takes a record from the free list, growing the arena when empty.
-// Reuse resets only the hot state: the cold blobs (predictor lookups, history
-// checkpoints — see dyn) stay stale and are rewritten in place before any
-// guarded read, which keeps the per-instruction clear to under a tenth of the
-// record's footprint.
+// h resolves an arena index to its hot scan state (same pointer discipline
+// as d).
+func (c *Core) h(i uint32) *hotState { return &c.hot[i] }
+
+// newDyn takes a record from the free list, growing the arena (and the
+// parallel hot array) when empty. Reuse resets only the hot state: the cold
+// blobs (predictor lookups, history checkpoints — see dyn) stay stale and are
+// rewritten in place before any guarded read, which keeps the per-instruction
+// clear to under a tenth of the record's footprint.
 func (c *Core) newDyn(in uarch.Inst) uint32 {
 	var di uint32
 	if n := len(c.dynFree); n > 0 {
 		di = c.dynFree[n-1]
 		c.dynFree = c.dynFree[:n-1]
-		d := &c.darena[di]
-		token := d.wakeToken
-		d.dynHot = dynHot{}
-		d.wakeToken = token
+		c.darena[di].dynHot = dynHot{}
+		h := &c.hot[di]
+		token := h.wakeToken
+		*h = hotState{}
+		h.wakeToken = token
 	} else {
 		c.darena = append(c.darena, dyn{})
+		c.hot = append(c.hot, hotState{})
 		di = uint32(len(c.darena) - 1)
 	}
 	d := &c.darena[di]
@@ -51,6 +57,9 @@ func (c *Core) newDyn(in uarch.Inst) uint32 {
 	d.oldPreg = regfile.PRegNone
 	d.providerPreg = regfile.PRegNone
 	d.port = -1
+	h := &c.hot[di]
+	h.seq = in.Seq
+	h.addrWord = in.Addr >> 3
 	return di
 }
 
@@ -58,11 +67,11 @@ func (c *Core) newDyn(in uarch.Inst) uint32 {
 // references still pointing at this slot; records with a pending completion
 // event are freed by the event drain instead (the wheel still links them).
 func (c *Core) freeDyn(di uint32) {
-	d := &c.darena[di]
-	if d.evtPending {
+	h := &c.hot[di]
+	if h.evtPending {
 		panic("pipeline: freeing dyn with pending completion event")
 	}
-	d.wakeToken++
-	d.wstate = wNone
+	h.wakeToken++
+	h.wstate = wNone
 	c.dynFree = append(c.dynFree, di)
 }

@@ -26,19 +26,20 @@ func (c *Core) commit() {
 			break
 		}
 		di := c.rob[c.robHead]
-		d := c.d(di)
-		if !d.done || d.readyAt > c.cycle {
+		h := c.h(di)
+		if !h.done || h.readyAt > c.cycle {
 			break
 		}
 		// Validation µ-op must have issued before retirement under
 		// the non-ideal policies.
-		if d.needValUop && !d.valUopIssued {
+		if h.needValUop && !h.valUopIssued {
 			break
 		}
+		d := c.d(di)
 
 		// Memory-order violation: squash from the load itself (it
 		// re-executes with correct ordering).
-		if d.violation {
+		if h.violation {
 			c.stats.MemOrderSquashes++
 			c.squashFrom(d.seq())
 			return

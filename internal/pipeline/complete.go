@@ -26,9 +26,8 @@ func (c *Core) schedule(di uint32, at uint64) {
 		c.completeOne(di) // completes this cycle
 		return
 	}
-	d := c.d(di)
-	d.evtPending = true
-	d.evtNext = noDyn
+	c.h(di).evtPending = true
+	c.d(di).evtNext = noDyn
 	if at-c.cycle < wheelSize {
 		slot := at & wheelMask
 		if tail := c.evtTail[slot]; tail != noDyn {
@@ -67,9 +66,9 @@ func (c *Core) complete() {
 }
 
 func (c *Core) fireEvent(di uint32) {
-	d := c.d(di)
-	d.evtPending = false
-	if d.squashed {
+	h := c.h(di)
+	h.evtPending = false
+	if h.squashed {
 		c.freeDyn(di)
 		return
 	}
@@ -78,10 +77,11 @@ func (c *Core) fireEvent(di uint32) {
 
 func (c *Core) completeOne(di uint32) {
 	d := c.d(di)
-	if d.squashed {
+	h := c.h(di)
+	if h.squashed {
 		return
 	}
-	d.done = true
+	h.done = true
 	in := &d.in
 
 	if d.alloc && d.kind != predValuePred {
@@ -101,7 +101,7 @@ func (c *Core) completeOne(di uint32) {
 
 	if in.IsStore() {
 		c.ss.StoreComplete(in.PC, in.Seq)
-		c.checkViolations(d)
+		c.checkViolations(d, h)
 	}
 }
 
@@ -109,27 +109,28 @@ func (c *Core) completeOne(di uint32) {
 // younger load to the same word that already executed read stale data — a
 // memory-order violation. The oldest such load is marked; the squash happens
 // when it reaches the ROB head. The store sets learn the pair.
-func (c *Core) checkViolations(st *dyn) {
-	word := st.in.Addr >> 3
-	var victim *dyn
+func (c *Core) checkViolations(st *dyn, sh *hotState) {
+	word := sh.addrWord
+	victim := noDyn
+	var victimSeq uint64
 	for _, li := range c.lq {
-		l := c.d(li)
-		if l.seq() <= st.seq() || !l.issued || l.violation {
+		l := c.h(li)
+		if l.seq <= sh.seq || !l.issued || l.violation {
 			continue
 		}
-		if l.in.Addr>>3 != word {
+		if l.addrWord != word {
 			continue
 		}
 		// The load issued before the store's data was available.
-		if l.issueCycle < st.readyAt {
-			if victim == nil || l.seq() < victim.seq() {
-				victim = l
+		if l.issueCycle < sh.readyAt {
+			if victim == noDyn || l.seq < victimSeq {
+				victim, victimSeq = li, l.seq
 			}
 		}
 	}
-	if victim != nil {
-		victim.violation = true
-		c.ss.Violation(victim.in.PC, st.in.PC)
+	if victim != noDyn {
+		c.h(victim).violation = true
+		c.ss.Violation(c.d(victim).in.PC, st.in.PC)
 	}
 }
 
@@ -140,12 +141,13 @@ func (c *Core) loadReady(d *dyn) uint64 {
 	addr := d.in.Addr
 	extra := c.dtlb.Lookup(addr)
 
+	seq := d.in.Seq
 	for i := len(c.sq) - 1; i >= 0; i-- {
-		s := c.d(c.sq[i])
-		if s.seq() >= d.seq() {
+		s := c.h(c.sq[i])
+		if s.seq >= seq {
 			continue
 		}
-		if s.in.Addr>>3 == addr>>3 {
+		if s.addrWord == addr>>3 {
 			if s.done {
 				return c.cycle + extra + c.cfg.STLFLat
 			}

@@ -67,11 +67,12 @@ type ringEnt struct {
 
 // Core is the simulated processor.
 type Core struct {
-	cfg   *config.Config
-	src   *trace.Replay
-	stats metrics.Stats
-	cycle uint64
-	rng   *rand.Rand
+	cfg    *config.Config
+	cfgKey string // lazy config.SeedlessHash of cfg (see ResetFor)
+	src    *trace.Replay
+	stats  metrics.Stats
+	cycle  uint64
+	rng    *rand.Rand
 
 	// Front end.
 	bp           *branch.Predictor
@@ -92,9 +93,11 @@ type Core struct {
 	ring   []ringEnt // rename-side FIFO of recent result producers
 
 	// Backend. All instruction queues hold arena indices (see arena.go).
+	// The IQ itself is only an occupancy count: issue order comes from the
+	// ready list, membership from hotState.inIQ.
 	rob     []uint32
 	robHead int
-	iq      []uint32
+	iqCount int
 	lq      []uint32
 	sq      []uint32
 	ports   []port
@@ -125,8 +128,10 @@ type Core struct {
 	valCount   map[uint64]int
 	valWritten []bool
 
-	// Dyn arena and free list (arena.go).
+	// Dyn arena and free list (arena.go); hot is the dense parallel array
+	// of per-instruction scan state (see hotState in dyn.go).
 	darena  []dyn
+	hot     []hotState
 	dynFree []uint32
 
 	// Completion event wheel plus overflow heap (complete.go).
@@ -142,7 +147,6 @@ type Core struct {
 	wakeHeap    []wakeHeapEnt
 	memSleepers []wakeRef // loads waiting on an unissued dependence store
 	regWaitBuf  []uint64  // scratch for draining register waiter lists
-	iqLeft      bool      // an entry left the IQ this cycle; compact it
 
 	// Scratch for deferred frees during a squash.
 	freeScratch []uint32
@@ -175,6 +179,7 @@ func New(cfg *config.Config, src trace.Source) *Core {
 	// Size the arena for the steady-state inflight window (ROB + front-end
 	// queue); squash-stranded records with pending events can still grow it.
 	c.darena = make([]dyn, 0, cfg.ROBSize+cfg.FetchQueue+64)
+	c.hot = make([]hotState, 0, cfg.ROBSize+cfg.FetchQueue+64)
 
 	// Initial architectural mappings.
 	for a := 0; a < uarch.NumArchRegs; a++ {
@@ -362,11 +367,12 @@ func (c *Core) deadlockState() string {
 			c.fqLen(), c.fetchBlocked != noDyn, c.fetchResume, c.cycle, c.srcDone)
 	}
 	d := c.d(c.rob[c.robHead])
+	h := c.h(c.rob[c.robHead])
 	return fmt.Sprintf("head seq=%d class=%v kind=%d issued=%v done=%v readyAt=%d needVal=%v valIssued=%v inIQ=%v wstate=%d nsrc=%d srcReady=[%d %d %d] provider=p%d provReady=%d cycle=%d iq=%d valQ=%d ready=%d",
-		d.seq(), d.in.Class, d.kind, d.issued, d.done, d.readyAt, d.needValUop, d.valUopIssued,
-		d.inIQ, d.wstate, d.nsrc,
+		d.seq(), d.in.Class, d.kind, h.issued, h.done, h.readyAt, h.needValUop, h.valUopIssued,
+		h.inIQ, h.wstate, d.nsrc,
 		c.prf.ReadyAt(d.srcPregs[0]), c.prf.ReadyAt(d.srcPregs[1]), c.prf.ReadyAt(d.srcPregs[2]),
-		d.providerPreg, c.prf.ReadyAt(d.providerPreg), c.cycle, len(c.iq), len(c.valQ), len(c.readyList))
+		d.providerPreg, c.prf.ReadyAt(d.providerPreg), c.cycle, c.iqCount, len(c.valQ), len(c.readyList))
 }
 
 func (c *Core) robCompact() {

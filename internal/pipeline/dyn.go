@@ -48,7 +48,8 @@ type dyn struct {
 
 // dynHot is the per-instruction state zeroed on every allocation. New dyn
 // fields belong here unless they are cold blobs with an explicit guard and
-// an in-place full rewrite before first read (see the dyn doc comment).
+// an in-place full rewrite before first read (see the dyn doc comment) — or
+// per-cycle scan state, which belongs in hotState instead.
 type dynHot struct {
 	renameReady uint64 // cycle at which the front end delivers it to rename
 
@@ -77,38 +78,49 @@ type dynHot struct {
 	predictedDist  uint16
 	trainViaVal    bool // sampling: likely candidate training through validation
 	valWrong       bool // validation outcome (known once both values exist)
-	needValUop     bool
-	valUopIssued   bool
 
 	// Branch state (the prediction record and history checkpoints are
 	// cold blobs).
 	brMispred bool
 	hasSnaps  bool
 
-	// Execution state.
-	inIQ       bool
-	issued     bool
-	done       bool   // result available (or no execution needed)
-	readyAt    uint64 // cycle the result is available
-	issueCycle uint64
-	port       int // issue port used
+	port int // issue port used
 
-	// Memory state.
-	addrReadyAt uint64 // stores: address resolved
-	violation   bool   // memory-order violation detected against this load
-	hasDepStore bool
+	// evtNext links the record into its completion-wheel slot (see
+	// complete.go); the wheel walk reads it once per event, so it stays
+	// with the record rather than in hotState.
+	evtNext uint32
+}
+
+// hotState is the per-instruction state the per-cycle scans touch — the
+// wakeup/ready-list machinery, the issue gate's store-queue search, the
+// load-queue violation scan and the retire check. It lives in a dense array
+// parallel to the dyn arena (Core.hot, same indices) so those scans walk
+// contiguous 64-byte records instead of striding through the multi-cache-line
+// dyn records (DESIGN.md §3.3). seq and addrWord duplicate immutable
+// instruction fields for the same reason.
+type hotState struct {
+	seq         uint64 // == in.Seq
+	readyAt     uint64 // cycle the result is available
+	issueCycle  uint64
 	depStoreSeq uint64
+	addrWord    uint64 // in.Addr >> 3, for the LSQ scans
 
-	squashed bool
+	// wakeToken invalidates stale wheel/waiter references after a squash
+	// or arena-slot reuse; wstate says where this record currently lives
+	// in the wakeup machinery (see wakeup.go).
+	wakeToken uint32
+	wstate    uint8
 
-	// Scheduling state (see wakeup.go). wstate says where this record
-	// currently lives in the wakeup machinery; wakeToken invalidates stale
-	// wheel/waiter references after a squash or arena-slot reuse; evtNext
-	// links the record into its completion-wheel slot.
-	wstate     uint8
-	wakeToken  uint32
-	evtPending bool
-	evtNext    uint32
+	issued       bool
+	done         bool // result available (or no execution needed)
+	squashed     bool
+	inIQ         bool
+	violation    bool // memory-order violation detected against this load
+	needValUop   bool
+	valUopIssued bool
+	hasDepStore  bool
+	evtPending   bool
 }
 
 func (d *dyn) seq() uint64 { return d.in.Seq }

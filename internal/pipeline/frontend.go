@@ -23,11 +23,12 @@ func (c *Core) fetch() {
 		if c.fqLen() >= c.cfg.FetchQueue {
 			return
 		}
-		in, ok := c.src.Next()
+		inp, ok := c.src.Peek()
 		if !ok {
 			c.srcDone = true
 			return
 		}
+		in := *inp
 
 		// Instruction cache, per line.
 		line := in.PC >> 6
@@ -36,13 +37,14 @@ func (c *Core) fetch() {
 			extra := c.itlb.Lookup(in.PC)
 			ready := c.l1i.Access(in.PC, c.cycle+extra, false, false)
 			if ready > c.cycle+c.cfg.L1ILatency+extra {
-				// Miss: this line arrives later; re-fetch then.
-				c.src.RewindTo(in.Seq)
+				// Miss: this line arrives later; the un-advanced peek
+				// leaves the instruction pending — re-fetch then.
 				c.lastLine = 0
 				c.fetchResume = ready
 				return
 			}
 		}
+		c.src.Advance()
 
 		di := c.newDyn(in)
 		d := c.d(di)
@@ -157,6 +159,6 @@ func (c *Core) resolveBranch(di uint32) {
 	}
 	if c.fetchBlocked == di {
 		c.fetchBlocked = noDyn
-		c.fetchResume = d.readyAt + 1
+		c.fetchResume = c.h(di).readyAt + 1
 	}
 }

@@ -50,8 +50,8 @@ func (c *Core) CheckInvariants() error {
 	if c.robLen() > c.cfg.ROBSize {
 		return fmt.Errorf("ROB over capacity: %d > %d", c.robLen(), c.cfg.ROBSize)
 	}
-	if len(c.iq) > c.cfg.IQSize+c.cfg.IssueWidth {
-		return fmt.Errorf("IQ over capacity: %d", len(c.iq))
+	if c.iqCount > c.cfg.IQSize+c.cfg.IssueWidth {
+		return fmt.Errorf("IQ over capacity: %d", c.iqCount)
 	}
 	return nil
 }

@@ -97,8 +97,15 @@ func (c *Core) issue() {
 			c.ports[p].busyUntil = c.cycle + 1
 			issued++
 			c.stats.ValidationUops++
-			c.d(uop.owner).valUopIssued = true
-			c.iqLeft = true // the owner may leave its retained entry
+			oh := c.h(uop.owner)
+			oh.valUopIssued = true
+			// The owner leaves its retained scheduler entry (§IV-F1b):
+			// it issued when the µ-op was created, so both conditions
+			// for departure now hold.
+			if oh.inIQ {
+				oh.inIQ = false
+				c.iqCount--
+			}
 		}
 		c.valQ = rest
 	}
@@ -111,11 +118,12 @@ func (c *Core) issue() {
 			break
 		}
 		di := c.readyList[i]
-		d := c.d(di)
-		if d.wstate != wReady {
+		h := c.h(di)
+		if h.wstate != wReady {
 			continue // issued earlier in this scan
 		}
-		if d.issued || !c.readyToIssue(d) {
+		d := c.d(di)
+		if h.issued || !c.readyToIssue(d, h) {
 			continue
 		}
 		p := c.pickPort(d)
@@ -124,13 +132,13 @@ func (c *Core) issue() {
 		}
 		c.issueOne(di, p)
 		issued++
-		d.wstate = wNone
+		h.wstate = wNone
 		c.readyStale = true
 	}
 	if c.readyStale {
 		keep := c.readyList[:0]
 		for _, di := range c.readyList {
-			if c.d(di).wstate == wReady {
+			if c.h(di).wstate == wReady {
 				keep = append(keep, di)
 			}
 		}
@@ -138,23 +146,6 @@ func (c *Core) issue() {
 		c.readyStale = false
 	}
 
-	// Compact the scheduler only when an entry actually left: entries leave
-	// when issued, except that instructions carrying a validation µ-op
-	// retain their entry until the µ-op issues (§IV-F1b: "must retain their
-	// scheduler entry for at least an additional cycle").
-	if c.iqLeft {
-		keep := c.iq[:0]
-		for _, di := range c.iq {
-			d := c.d(di)
-			if d.issued && (!d.needValUop || d.valUopIssued) {
-				d.inIQ = false
-				continue
-			}
-			keep = append(keep, di)
-		}
-		c.iq = keep
-		c.iqLeft = false
-	}
 }
 
 // Blocking conditions reported by firstBlocker.
@@ -176,7 +167,7 @@ const (
 //
 // For blockTimed the clearing cycle comes back in `at`; for blockReg the
 // register to park on comes back in `p`.
-func (c *Core) firstBlocker(d *dyn) (kind blockKind, at uint64, p regfile.PReg) {
+func (c *Core) firstBlocker(d *dyn, h *hotState) (kind blockKind, at uint64, p regfile.PReg) {
 	for i := 0; i < d.nsrc; i++ {
 		if t := c.prf.ReadyAt(d.srcPregs[i]); t > c.cycle {
 			if t == regfile.NotReady {
@@ -191,7 +182,7 @@ func (c *Core) firstBlocker(d *dyn) (kind blockKind, at uint64, p regfile.PReg) 
 	// Training-only instructions hold no ISRB reference, so their
 	// would-be-shared register may have been recycled (epoch mismatch);
 	// they then compare against whatever occupies it, without waiting.
-	if d.needValUop && d.providerValid && d.providerPreg != regfile.ZeroPReg &&
+	if h.needValUop && d.providerValid && d.providerPreg != regfile.ZeroPReg &&
 		c.epochs[d.providerPreg] == d.providerEpoch {
 		if t := c.prf.ReadyAt(d.providerPreg); t > c.cycle {
 			if t == regfile.NotReady {
@@ -200,10 +191,10 @@ func (c *Core) firstBlocker(d *dyn) (kind blockKind, at uint64, p regfile.PReg) 
 			return blockTimed, t, regfile.PRegNone
 		}
 	}
-	if d.in.IsLoad() && d.hasDepStore {
+	if h.hasDepStore && d.in.IsLoad() {
 		for _, si := range c.sq {
-			s := c.d(si)
-			if s.seq() == d.depStoreSeq {
+			s := c.h(si)
+			if s.seq == h.depStoreSeq {
 				if !s.done {
 					if s.issued {
 						// Completes (and is marked done) at readyAt,
@@ -220,20 +211,27 @@ func (c *Core) firstBlocker(d *dyn) (kind blockKind, at uint64, p regfile.PReg) 
 }
 
 // readyToIssue reports whether nothing blocks d this cycle.
-func (c *Core) readyToIssue(d *dyn) bool {
-	kind, _, _ := c.firstBlocker(d)
+func (c *Core) readyToIssue(d *dyn, h *hotState) bool {
+	kind, _, _ := c.firstBlocker(d, h)
 	return kind == blockNone
 }
+
+// Port preference orders for pickPort, hoisted to package scope so the
+// per-candidate picker does not materialise a slice per call.
+var (
+	// Stores prefer the store-only port to keep load ports free.
+	storePortOrder = []int{9, 7, 8}
+	loadPortOrder  = []int{7, 8}
+)
 
 func (c *Core) pickPort(d *dyn) int {
 	need := classFU(d.in.Class)
 	var order []int
 	switch {
 	case need == fuStore:
-		// Prefer the store-only port to keep load ports free.
-		order = []int{9, 7, 8}
+		order = storePortOrder
 	case need == fuLoad:
-		order = []int{7, 8}
+		order = loadPortOrder
 	default:
 		order = anyFUOrder[:7]
 	}
@@ -247,10 +245,18 @@ func (c *Core) pickPort(d *dyn) int {
 
 func (c *Core) issueOne(di uint32, p int) {
 	d := c.d(di)
-	d.issued = true
+	h := c.h(di)
+	h.issued = true
 	d.port = p
-	d.issueCycle = c.cycle
-	c.iqLeft = true
+	h.issueCycle = c.cycle
+	// Entries leave the scheduler when they issue, except that instructions
+	// carrying a validation µ-op retain their entry until the µ-op issues
+	// (§IV-F1b: "must retain their scheduler entry for at least an
+	// additional cycle").
+	if h.inIQ && !h.needValUop {
+		h.inIQ = false
+		c.iqCount--
+	}
 	busy := c.cycle + 1
 
 	var readyAt uint64
@@ -259,7 +265,6 @@ func (c *Core) issueOne(di uint32, p int) {
 		readyAt = c.loadReady(d)
 	case uarch.ClassStore:
 		readyAt = c.cycle + 1
-		d.addrReadyAt = readyAt
 	case uarch.ClassIntDiv:
 		readyAt = c.cycle + c.cfg.IntDivLat
 		if !c.cfg.DivPipelined {
@@ -274,7 +279,7 @@ func (c *Core) issueOne(di uint32, p int) {
 		readyAt = c.cycle + c.classLatency(d.in.Class)
 	}
 	c.ports[p].busyUntil = busy
-	d.readyAt = readyAt
+	h.readyAt = readyAt
 
 	// Destination readiness: only freshly allocated, non-value-predicted
 	// registers become ready through execution. Shared (RSEP) and zero
@@ -286,7 +291,7 @@ func (c *Core) issueOne(di uint32, p int) {
 		c.drainRegWaiters(d.dstPreg)
 	}
 	if d.in.IsStore() {
-		c.wakeStoreSleepers(d.seq())
+		c.wakeStoreSleepers(h.seq)
 	}
 
 	c.schedule(di, readyAt)
@@ -295,7 +300,7 @@ func (c *Core) issueOne(di uint32, p int) {
 	// register, guaranteed ready at issue by the extra dependency) is
 	// available — the cycle after for single-cycle ops, later for
 	// multi-cycle and variable-latency instructions.
-	if d.needValUop {
+	if h.needValUop {
 		uport := -1
 		if c.rsepCfg != nil && c.rsepCfg.Validation == rsep.ValidateIssue2xSameFU {
 			uport = p

@@ -36,7 +36,7 @@ func (c *Core) rename() {
 		d.alloc = false
 		d.trainViaVal = false
 		d.providerValid = false
-		d.needValUop = false
+		c.h(di).needValUop = false
 		d.valWrong = false
 		d.predictedDist = 0
 		d.dstPreg = regfile.PRegNone
@@ -152,7 +152,7 @@ func (c *Core) rename() {
 			c.epochs[p]++
 		}
 		if needsIQ {
-			if len(c.iq) >= c.cfg.IQSize {
+			if c.iqCount >= c.cfg.IQSize {
 				// No scheduler entry: undo and stall.
 				if d.alloc {
 					c.prf.Free(d.dstPreg)
@@ -184,26 +184,27 @@ func (c *Core) rename() {
 		}
 
 		// Validation µ-op requirement (§IV-F).
+		h := c.h(di)
 		if c.rsepCfg != nil && c.rsepCfg.Validation != 0 {
 			if mech == predDistPred || mech == predZeroPred || d.trainViaVal {
-				d.needValUop = true
+				h.needValUop = true
 			}
 		}
 
 		if needsIQ {
-			c.iq = append(c.iq, di)
-			d.inIQ = true
+			c.iqCount++
+			h.inIQ = true
 		} else {
-			d.done = true
-			d.readyAt = c.cycle
+			h.done = true
+			h.readyAt = c.cycle
 		}
 
 		// LSQ entries and store-set discipline.
 		if in.IsLoad() {
 			c.lq = append(c.lq, di)
 			if seq, ok := c.ss.LoadDependence(in.PC); ok {
-				d.hasDepStore = true
-				d.depStoreSeq = seq
+				h.hasDepStore = true
+				h.depStoreSeq = seq
 			}
 		}
 		if in.IsStore() {

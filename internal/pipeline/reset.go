@@ -1,0 +1,143 @@
+package pipeline
+
+import (
+	"rsepsim/internal/config"
+	"rsepsim/internal/metrics"
+	"rsepsim/internal/trace"
+	"rsepsim/internal/uarch"
+)
+
+// ResetFor rewinds the core to the state New(cfg, src) would construct,
+// reusing every table, queue and arena already allocated, and reports whether
+// it could. It succeeds only when cfg describes the same machine geometry as
+// the core was built with (config.SeedlessHash — everything but the RNG seed);
+// a geometry change would require differently sized tables, so the caller
+// must fall back to New. On success the simulation is bit-identical to a
+// fresh core: the construction order of New draws nothing from the RNG, so
+// reseeding in place reproduces a fresh rand.Source exactly, and every
+// component's Reset restores its freshly-constructed state.
+//
+// This is the job-lifecycle entry point for worker reuse (DESIGN.md §3.3): a
+// scheduler worker keeps one core per machine geometry and resets it per job,
+// which removes the several-MB table construction from the per-job path.
+func (c *Core) ResetFor(cfg *config.Config, src trace.Source) bool {
+	if c.cfgKey == "" {
+		c.cfgKey = c.cfg.SeedlessHash()
+	}
+	if cfg.SeedlessHash() != c.cfgKey {
+		return false
+	}
+	c.cfg = cfg
+	c.stats = metrics.Stats{}
+	c.cycle = 0
+	c.committedTarget = 0
+	c.cancel = nil
+
+	// The RNG is shared by every predictor that tie-breaks allocations;
+	// none draws during construction, so reseeding equals a fresh source.
+	c.rng.Seed(cfg.Seed)
+
+	// Front end.
+	c.bp.Reset()
+	c.l1i.Reset()
+	c.itlb.Reset()
+	c.src.Reset(src)
+	c.fetchQ = c.fetchQ[:0]
+	c.fqHead = 0
+	c.fetchBlocked = noDyn
+	c.fetchResume = 0
+	c.lastLine = 0
+	c.srcDone = false
+
+	// Rename state, then the initial architectural mappings exactly as New
+	// establishes them (same allocation order, so the same physical
+	// registers back the same architectural registers).
+	c.rat.Reset()
+	c.prf.Reset()
+	c.isrb.Reset()
+	clear(c.epochs)
+	c.ring = c.ring[:0]
+	for a := 0; a < uarch.NumArchRegs; a++ {
+		p, ok := c.prf.Alloc(uarch.Reg(a).IsFP())
+		if !ok {
+			panic("pipeline: not enough physical registers for architectural state")
+		}
+		c.prf.SetValue(p, 0)
+		c.prf.SetReadyAt(p, 0)
+		c.rat.Set(a, p)
+	}
+
+	// Backend queues and ports.
+	c.rob = c.rob[:0]
+	c.robHead = 0
+	c.iqCount = 0
+	c.lq = c.lq[:0]
+	c.sq = c.sq[:0]
+	c.valQ = c.valQ[:0]
+	for i := range c.ports {
+		c.ports[i].busyUntil = 0
+	}
+
+	// Memory system.
+	c.l1d.Reset()
+	c.l2.Reset()
+	c.l3.Reset()
+	c.dtlb.Reset()
+	c.mem.Reset()
+	c.ss.Reset()
+
+	// RSEP machinery.
+	if c.distPred != nil {
+		c.distPred.Reset()
+	}
+	if c.distHist != nil {
+		c.distHist.Reset()
+	}
+	if c.pairer != nil {
+		c.pairer.Reset()
+	}
+	if c.zp != nil {
+		c.zp.Reset()
+	}
+	if c.hrf != nil {
+		c.hrf.Reset()
+	}
+	c.csn = 0
+
+	// Value prediction.
+	if c.vp != nil {
+		c.vp.Reset()
+	}
+	if c.vpHist != nil {
+		c.vpHist.Reset()
+	}
+
+	// Figure 1 oracle.
+	if c.valCount != nil {
+		clear(c.valCount)
+		clear(c.valWritten)
+	}
+
+	// Dyn arena: truncating drops every record; newDyn appends zero
+	// records over the retained backing array, exactly as on a fresh core.
+	c.darena = c.darena[:0]
+	c.hot = c.hot[:0]
+	c.dynFree = c.dynFree[:0]
+
+	// Completion events and wakeup machinery.
+	for i := range c.evtHead {
+		c.evtHead[i] = noDyn
+		c.evtTail[i] = noDyn
+	}
+	c.evtHeap = c.evtHeap[:0]
+	c.evtHeapSeq = 0
+	c.readyList = c.readyList[:0]
+	c.readyStale = false
+	for i := range c.wakeSlots {
+		c.wakeSlots[i] = c.wakeSlots[i][:0]
+	}
+	c.wakeHeap = c.wakeHeap[:0]
+	c.memSleepers = c.memSleepers[:0]
+	c.freeScratch = c.freeScratch[:0]
+	return true
+}

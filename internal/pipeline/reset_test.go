@@ -1,0 +1,91 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+
+	"rsepsim/internal/config"
+	"rsepsim/internal/rsep"
+	"rsepsim/internal/vpred"
+	"rsepsim/internal/workload"
+)
+
+func statsJSON(t *testing.T, core *Core) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := core.Stats().EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCoreReuseDeterminism is the worker-reuse contract: a core that already
+// ran a different job (different workload, different seed) and was then
+// ResetFor the target job must produce byte-identical statistics to a freshly
+// constructed core. The cases mirror the golden-stats runs so every mechanism
+// whose state ResetFor must clear — branch/distance/value predictors, FIFO
+// history, ISRB, caches, TLBs, DRAM banks, store sets — is exercised.
+func TestCoreReuseDeterminism(t *testing.T) {
+	cases := []struct {
+		name  string
+		bench string
+		cfg   *config.Config
+	}{
+		{"baseline", "mcf", config.TableI()},
+		{"rsep-realistic", "hmmer", config.TableI().WithRSEP(rsep.Realistic())},
+		{"rsep-vp", "mcf", config.TableI().WithRSEP(rsep.Ideal()).WithVP(vpred.BeBoP())},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(core *Core) []byte {
+				core.Run(10_000)
+				core.ResetStats()
+				core.Run(20_000)
+				return statsJSON(t, core)
+			}
+
+			fresh := New(tc.cfg, workload.New(workload.MustByName(tc.bench), 7))
+			want := run(fresh)
+
+			// A warm worker: same geometry, different seed, different
+			// workload — then reset to the target job.
+			inter := tc.cfg.Clone()
+			inter.Seed = 99
+			reused := New(inter, workload.New(workload.MustByName("xalancbmk"), 5))
+			reused.Run(15_000)
+			if !reused.ResetFor(tc.cfg, workload.New(workload.MustByName(tc.bench), 7)) {
+				t.Fatal("ResetFor refused a same-geometry config")
+			}
+			got := run(reused)
+
+			if !bytes.Equal(got, want) {
+				t.Errorf("reused core diverges from fresh core\n got: %s\nwant: %s", got, want)
+			}
+		})
+	}
+}
+
+// TestResetForGeometryChange pins the fallback contract: ResetFor must refuse
+// any config that changes table geometry (it can only be satisfied by fresh
+// construction) and accept one that differs only in the RNG seed.
+func TestResetForGeometryChange(t *testing.T) {
+	prof := workload.MustByName("mcf")
+	core := New(config.TableI(), workload.New(prof, 7))
+	core.Run(5_000)
+
+	bigger := config.TableI()
+	bigger.ROBSize *= 2
+	if core.ResetFor(bigger, workload.New(prof, 7)) {
+		t.Error("ResetFor accepted a ROB-size change")
+	}
+	withRSEP := config.TableI().WithRSEP(rsep.Realistic())
+	if core.ResetFor(withRSEP, workload.New(prof, 7)) {
+		t.Error("ResetFor accepted a mechanism change")
+	}
+
+	reseeded := config.TableI()
+	reseeded.Seed = 12345
+	if !core.ResetFor(reseeded, workload.New(prof, 7)) {
+		t.Error("ResetFor refused a seed-only change")
+	}
+}

@@ -22,11 +22,12 @@ func (c *Core) squashFrom(seq uint64) {
 	// Records here were never issued, so none has a pending event.
 	keepFQ := c.fetchQ[:0]
 	for _, di := range c.fetchQ[c.fqHead:] {
+		h := c.h(di)
 		d := c.d(di)
-		if d.seq() >= seq {
-			d.squashed = true
-			invalidateWakes(d)
-			if d.in.IsBranch() && (oldestBranch == noDyn || d.seq() < c.d(oldestBranch).seq()) {
+		if h.seq >= seq {
+			h.squashed = true
+			invalidateWakes(h)
+			if d.in.IsBranch() && (oldestBranch == noDyn || h.seq < c.h(oldestBranch).seq) {
 				oldestBranch = di
 			}
 			if c.vp != nil && d.vpLkValid {
@@ -42,18 +43,23 @@ func (c *Core) squashFrom(seq uint64) {
 
 	// ROB walk-back, youngest first.
 	cut := len(c.rob)
-	for cut > c.robHead && c.d(c.rob[cut-1]).seq() >= seq {
+	for cut > c.robHead && c.h(c.rob[cut-1]).seq >= seq {
 		cut--
 	}
 	for i := len(c.rob) - 1; i >= cut; i-- {
 		di := c.rob[i]
 		d := c.d(di)
-		d.squashed = true
-		invalidateWakes(d)
-		if !d.evtPending {
+		h := c.h(di)
+		h.squashed = true
+		invalidateWakes(h)
+		if h.inIQ {
+			h.inIQ = false
+			c.iqCount--
+		}
+		if !h.evtPending {
 			c.freeScratch = append(c.freeScratch, di)
 		}
-		if d.in.IsBranch() && (oldestBranch == noDyn || d.seq() < c.d(oldestBranch).seq()) {
+		if d.in.IsBranch() && (oldestBranch == noDyn || h.seq < c.h(oldestBranch).seq) {
 			oldestBranch = di
 		}
 		if c.vp != nil && d.vpLkValid {
@@ -74,38 +80,33 @@ func (c *Core) squashFrom(seq uint64) {
 	}
 	c.rob = c.rob[:cut]
 
-	// Scheduler, LSQ and ready list.
-	keepIQ := c.iq[:0]
-	for _, di := range c.iq {
-		if !c.d(di).squashed {
-			keepIQ = append(keepIQ, di)
-		}
-	}
-	c.iq = keepIQ
+	// LSQ and ready list. (The scheduler is just the iqCount occupancy
+	// counter plus hotState.inIQ — squashed entries released it in the ROB
+	// walk-back above.)
 	keepLQ := c.lq[:0]
 	for _, di := range c.lq {
-		if !c.d(di).squashed {
+		if !c.h(di).squashed {
 			keepLQ = append(keepLQ, di)
 		}
 	}
 	c.lq = keepLQ
 	keepSQ := c.sq[:0]
 	for _, di := range c.sq {
-		if !c.d(di).squashed {
+		if !c.h(di).squashed {
 			keepSQ = append(keepSQ, di)
 		}
 	}
 	c.sq = keepSQ
 	keepVQ := c.valQ[:0]
 	for _, u := range c.valQ {
-		if !c.d(u.owner).squashed {
+		if !c.h(u.owner).squashed {
 			keepVQ = append(keepVQ, u)
 		}
 	}
 	c.valQ = keepVQ
 	keepRL := c.readyList[:0]
 	for _, di := range c.readyList {
-		if c.d(di).wstate == wReady {
+		if c.h(di).wstate == wReady {
 			keepRL = append(keepRL, di)
 		}
 	}
@@ -132,7 +133,7 @@ func (c *Core) squashFrom(seq uint64) {
 		}
 	}
 
-	if c.fetchBlocked != noDyn && c.d(c.fetchBlocked).squashed {
+	if c.fetchBlocked != noDyn && c.h(c.fetchBlocked).squashed {
 		c.fetchBlocked = noDyn
 	}
 

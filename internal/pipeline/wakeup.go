@@ -60,7 +60,7 @@ type wakeHeapEnt struct {
 // it parks on the first blocking condition. Called at dispatch and on every
 // wake.
 func (c *Core) evalWait(di uint32) {
-	kind, at, p := c.firstBlocker(c.d(di))
+	kind, at, p := c.firstBlocker(c.d(di), c.h(di))
 	switch kind {
 	case blockNone:
 		c.pushReady(di)
@@ -76,14 +76,14 @@ func (c *Core) evalWait(di uint32) {
 // pushReady inserts di into the ready list, keeping it sorted by sequence
 // number so the issue scan remains oldest-first.
 func (c *Core) pushReady(di uint32) {
-	d := c.d(di)
-	d.wstate = wReady
-	d.wakeToken++
-	seq := d.seq()
+	h := c.h(di)
+	h.wstate = wReady
+	h.wakeToken++
+	seq := h.seq
 	lo, hi := 0, len(c.readyList)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if c.d(c.readyList[mid]).seq() < seq {
+		if c.h(c.readyList[mid]).seq < seq {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -100,10 +100,10 @@ func (c *Core) wakeAt(di uint32, at uint64) {
 		c.pushReady(di)
 		return
 	}
-	d := c.d(di)
-	d.wstate = wTimed
-	d.wakeToken++
-	ref := wakeRef{di, d.wakeToken}
+	h := c.h(di)
+	h.wstate = wTimed
+	h.wakeToken++
+	ref := wakeRef{di, h.wakeToken}
 	if at-c.cycle < wheelSize {
 		slot := at & wheelMask
 		c.wakeSlots[slot] = append(c.wakeSlots[slot], ref)
@@ -114,32 +114,32 @@ func (c *Core) wakeAt(di uint32, at uint64) {
 
 // sleepOnReg parks di until SetReadyAt announces p's ready cycle.
 func (c *Core) sleepOnReg(di uint32, p regfile.PReg) {
-	d := c.d(di)
-	d.wstate = wReg
-	d.wakeToken++
-	c.prf.AddWaiter(p, packWakeRef(wakeRef{di, d.wakeToken}))
+	h := c.h(di)
+	h.wstate = wReg
+	h.wakeToken++
+	c.prf.AddWaiter(p, packWakeRef(wakeRef{di, h.wakeToken}))
 }
 
 // sleepOnStore parks di (a load) until its dependence store issues.
 func (c *Core) sleepOnStore(di uint32) {
-	d := c.d(di)
-	d.wstate = wStore
-	d.wakeToken++
-	c.memSleepers = append(c.memSleepers, wakeRef{di, d.wakeToken})
+	h := c.h(di)
+	h.wstate = wStore
+	h.wakeToken++
+	c.memSleepers = append(c.memSleepers, wakeRef{di, h.wakeToken})
 }
 
 // tryWake re-evaluates a parked instruction, ignoring stale references.
 func (c *Core) tryWake(ref wakeRef) {
-	d := c.d(ref.idx)
-	if d.wakeToken != ref.token {
+	h := c.h(ref.idx)
+	if h.wakeToken != ref.token {
 		return
 	}
-	switch d.wstate {
+	switch h.wstate {
 	case wTimed, wReg, wStore:
 	default:
 		return
 	}
-	d.wstate = wNone
+	h.wstate = wNone
 	c.evalWait(ref.idx)
 }
 
@@ -187,12 +187,12 @@ func (c *Core) wakeStoreSleepers(storeSeq uint64) {
 	}
 	keep := c.memSleepers[:0]
 	for _, ref := range c.memSleepers {
-		d := c.d(ref.idx)
-		if d.wakeToken != ref.token || d.wstate != wStore {
+		h := c.h(ref.idx)
+		if h.wakeToken != ref.token || h.wstate != wStore {
 			continue
 		}
-		if d.depStoreSeq == storeSeq {
-			d.wstate = wNone
+		if h.depStoreSeq == storeSeq {
+			h.wstate = wNone
 			c.evalWait(ref.idx)
 			continue
 		}
@@ -202,9 +202,9 @@ func (c *Core) wakeStoreSleepers(storeSeq uint64) {
 }
 
 // invalidateWakes voids any queued wake references to a squashed record.
-func invalidateWakes(d *dyn) {
-	d.wakeToken++
-	d.wstate = wNone
+func invalidateWakes(h *hotState) {
+	h.wakeToken++
+	h.wstate = wNone
 }
 
 // wakeHeap: a binary min-heap (heap.go) on the wake cycle alone — drain

@@ -79,6 +79,16 @@ func NewGlobalHistory(histLens, widths []int) *GlobalHistory {
 	return g
 }
 
+// Reset clears all recorded history in place, as if freshly constructed.
+func (g *GlobalHistory) Reset() {
+	clear(g.bits)
+	g.pos = 0
+	g.path = 0
+	for i := range g.folds {
+		g.folds[i].val = 0
+	}
+}
+
 func (g *GlobalHistory) bitAt(age int) uint32 {
 	idx := (g.pos - age) & g.bitMask // age <= MaxHistoryBits < len(bits)*64
 	return uint32(g.bits[idx>>6]>>(uint(idx)&63)) & 1

@@ -154,6 +154,17 @@ func NewTAGE[P comparable](cfg TAGEConfig, conf ConfPolicy, rng *rand.Rand) *TAG
 	return t
 }
 
+// Reset clears every table and the aging clock in place, as if freshly
+// constructed. The allocation tie-breaker RNG is owned by the caller (it is
+// shared across predictors) and must be reseeded there.
+func (t *TAGE[P]) Reset() {
+	clear(t.base)
+	for _, tbl := range t.tables {
+		clear(tbl)
+	}
+	t.ticks = 0
+}
+
 // MaxComponents bounds the number of tagged components a payload TAGE may
 // have; lookups embed fixed-size index/tag arrays so that carrying them with
 // inflight instructions does not allocate.
@@ -357,6 +368,12 @@ func NewGShare[P comparable](pcEntries, ghEntries, histLen int, conf ConfPolicy)
 		pcMask:  Pow2Mask(pcEntries),
 		ghMask:  Pow2Mask(ghEntries),
 	}
+}
+
+// Reset clears both tables in place.
+func (g *GShare[P]) Reset() {
+	clear(g.pcTab)
+	clear(g.ghTab)
 }
 
 // GShareLookup carries prediction-time state to Update.

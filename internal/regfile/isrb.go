@@ -40,6 +40,12 @@ func NewISRB(entries, counterBits int) *ISRB {
 	return b
 }
 
+// Reset drops every entry and zeroes the statistics in place.
+func (b *ISRB) Reset() {
+	b.entries = b.entries[:0]
+	b.ShareOK, b.ShareFullRejects, b.Frees = 0, 0, 0
+}
+
 func (b *ISRB) find(p PReg) *isrbEntry {
 	for i := range b.entries {
 		if b.entries[i].valid && b.entries[i].preg == p {

@@ -65,6 +65,29 @@ func NewFile(nInt, nFP int) *File {
 	return f
 }
 
+// Reset restores the file to its freshly constructed state in place: all
+// values and ready cycles zeroed, every register free, free lists in the
+// exact construction order (so post-reset allocation order — and therefore
+// every downstream decision — matches a new File bit for bit), waiter lists
+// emptied with capacity kept.
+func (f *File) Reset() {
+	clear(f.vals)
+	clear(f.readyAt)
+	clear(f.alloc)
+	for i := range f.waiters {
+		f.waiters[i] = f.waiters[i][:0]
+	}
+	f.alloc[0] = true // zero register
+	f.intFree = f.intFree[:0]
+	for i := int(f.fpStart) - 1; i >= 1; i-- {
+		f.intFree = append(f.intFree, PReg(i))
+	}
+	f.fpFree = f.fpFree[:0]
+	for i := len(f.vals) - 1; i >= int(f.fpStart); i-- {
+		f.fpFree = append(f.fpFree, PReg(i))
+	}
+}
+
 // Alloc pops a free register from the integer or FP pool.
 func (f *File) Alloc(fp bool) (PReg, bool) {
 	pool := &f.intFree
@@ -180,6 +203,13 @@ func NewRAT(n int) *RAT {
 		r.m[i] = PRegNone
 	}
 	return r
+}
+
+// Reset unmaps every architectural register in place.
+func (r *RAT) Reset() {
+	for i := range r.m {
+		r.m[i] = PRegNone
+	}
 }
 
 // Get returns the current mapping of architectural register a.

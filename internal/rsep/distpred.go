@@ -40,6 +40,8 @@ type DistPredictor interface {
 	HistoryWidths() []int
 	// HistoryLengths returns the geometric history lengths.
 	HistoryLengths() []int
+	// Reset clears all learned state in place, as if freshly constructed.
+	Reset()
 }
 
 // TAGEDistConfig sizes the TAGE-based distance predictor.
@@ -163,6 +165,9 @@ func (d *TAGEDist) HistoryWidths() []int {
 // HistoryLengths implements DistPredictor.
 func (d *TAGEDist) HistoryLengths() []int { return d.cfg.HistLens }
 
+// Reset implements DistPredictor.
+func (d *TAGEDist) Reset() { d.tage.Reset() }
+
 // GShareDist is the gshare-like distance predictor of Sha et al. (§IV-C),
 // kept as the baseline the TAGE predictor is compared against.
 type GShareDist struct {
@@ -224,3 +229,6 @@ func (d *GShareDist) HistoryWidths() []int { return []int{16} }
 
 // HistoryLengths implements DistPredictor.
 func (d *GShareDist) HistoryLengths() []int { return []int{d.histLen} }
+
+// Reset implements DistPredictor.
+func (d *GShareDist) Reset() { d.g.Reset() }

@@ -72,3 +72,6 @@ func (h *HRF) Read(p regfile.PReg) uint32 {
 // StorageBits reports the HRF storage in bits (the modelled hardware covers
 // exactly npregs registers; the software padding is not charged).
 func (h *HRF) StorageBits() int { return h.npregs * int(h.bits) }
+
+// Reset clears all stored hashes in place, as if freshly constructed.
+func (h *HRF) Reset() { clear(h.hashes) }

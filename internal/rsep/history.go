@@ -19,6 +19,8 @@ type Pairer interface {
 	Push(hash uint32, csn uint64)
 	// StorageBits accounts the structure's storage.
 	StorageBits() int
+	// Reset clears all recorded history in place, as if freshly constructed.
+	Reset()
 }
 
 // FIFOHistory keeps the hashes of the n most recently retired
@@ -179,6 +181,17 @@ func (h *FIFOHistory) StorageBits() int {
 // Len reports the capacity (0 = unbounded).
 func (h *FIFOHistory) Len() int { return h.size }
 
+// Reset implements Pairer: it clears the ring, bucket heads and CSN window in
+// place, as if freshly constructed.
+func (h *FIFOHistory) Reset() {
+	clear(h.ring)
+	for i := range h.heads {
+		h.heads[i] = noCSN
+	}
+	h.minCSN, h.nextCSN = 0, 0
+	h.Finds, h.Matches, h.PredictedMatches = 0, 0, 0
+}
+
 // ImplicitHistory is the §IV-D2b alternative FIFO implementation: every
 // committed instruction is pushed (result producer or not), so the
 // instruction distance is the position offset in the buffer and entries need
@@ -297,3 +310,9 @@ func (d *DDT) Push(hash uint32, csn uint64) {
 
 // StorageBits implements Pairer.
 func (d *DDT) StorageBits() int { return len(d.entries) * d.csnBits }
+
+// Reset implements Pairer.
+func (d *DDT) Reset() {
+	clear(d.entries)
+	d.Finds, d.Matches = 0, 0
+}

@@ -61,3 +61,10 @@ func (z *ZeroPredictor) Update(lk *ZeroLookup, wasZero bool) {
 
 // StorageBits accounts the table's storage.
 func (z *ZeroPredictor) StorageBits() int { return len(z.entries) * z.conf.Bits() }
+
+// Reset clears all learned state and statistics in place, as if freshly
+// constructed.
+func (z *ZeroPredictor) Reset() {
+	clear(z.entries)
+	z.Lookups, z.Predicted = 0, 0
+}

@@ -1,0 +1,55 @@
+package runner
+
+import (
+	"sync"
+
+	"rsepsim/internal/config"
+	"rsepsim/internal/pipeline"
+	"rsepsim/internal/trace"
+)
+
+// The core pool: workers reuse one pipeline.Core per machine geometry
+// (config.SeedlessHash) instead of constructing the several-MB table set for
+// every job. A pooled core is reset in place with Core.ResetFor, which is
+// bit-identical to fresh construction (see TestCoreReuseDeterminism), so
+// pooling is invisible to results. Cores are returned to the pool explicitly
+// — never deferred — so a core that panicked mid-simulation (deadlock check)
+// is dropped rather than recycled with inconsistent state.
+
+// corePoolMax bounds the retained cores across all geometries. A full sweep
+// touches a handful of configurations; anything beyond that is churn not
+// worth the resident memory.
+const corePoolMax = 8
+
+var corePool = struct {
+	mu sync.Mutex
+	m  map[string]*pipeline.Core
+}{m: make(map[string]*pipeline.Core)}
+
+// coreFor returns a core ready to simulate cfg over src — a pooled core of
+// the same geometry reset in place when available, a freshly built one
+// otherwise — together with the pool key to return it under.
+func coreFor(cfg *config.Config, src trace.Source) (*pipeline.Core, string) {
+	key := cfg.SeedlessHash()
+	corePool.mu.Lock()
+	core := corePool.m[key]
+	delete(corePool.m, key)
+	corePool.mu.Unlock()
+	if core != nil && core.ResetFor(cfg, src) {
+		return core, key
+	}
+	return pipeline.New(cfg, src), key
+}
+
+// putCore returns a healthy core to the pool. When several workers finished
+// the same geometry concurrently only one core is kept; the pool never grows
+// past corePoolMax entries.
+func putCore(key string, core *pipeline.Core) {
+	corePool.mu.Lock()
+	if len(corePool.m) < corePoolMax {
+		if _, dup := corePool.m[key]; !dup {
+			corePool.m[key] = core
+		}
+	}
+	corePool.mu.Unlock()
+}

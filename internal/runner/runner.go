@@ -18,7 +18,6 @@ import (
 
 	"rsepsim/internal/config"
 	"rsepsim/internal/metrics"
-	"rsepsim/internal/pipeline"
 	"rsepsim/internal/trace"
 	"rsepsim/internal/workload"
 )
@@ -48,11 +47,9 @@ type Key struct {
 
 // Key returns the job's cache/dedup key.
 func (j Job) Key() Key {
-	cfg := j.Config.Clone()
-	cfg.Seed = 0
 	return Key{
 		Bench:      j.Bench,
-		ConfigHash: cfg.Hash(),
+		ConfigHash: j.Config.SeedlessHash(),
 		Seed:       j.Seed,
 		Warmup:     j.Warmup,
 		Measure:    j.Measure,
@@ -84,19 +81,28 @@ func Simulate(ctx context.Context, j Job) (*metrics.Stats, error) {
 // Jobs with custom sources bypass the cache (their outcome is not identified
 // by a benchmark name); named benchmarks should go through Simulate or a
 // Pool instead.
+//
+// The core comes from (and returns to) the geometry-keyed pool in
+// corepool.go, so a warm worker pays a wholesale reset instead of table
+// construction per job. The returned Stats are a copy — the core's own
+// counters are recycled with it.
 func SimulateSource(ctx context.Context, cfg *config.Config, src trace.Source, warmup, measure uint64) (*metrics.Stats, error) {
-	core := pipeline.New(cfg, src)
+	core, key := coreFor(cfg, src)
 	if ctx != nil {
 		core.SetCancel(ctx.Done())
 	}
 	core.Run(warmup)
 	if ctx != nil && ctx.Err() != nil {
+		putCore(key, core)
 		return nil, context.Cause(ctx)
 	}
 	core.ResetStats()
 	core.Run(measure)
 	if ctx != nil && ctx.Err() != nil {
+		putCore(key, core)
 		return nil, context.Cause(ctx)
 	}
-	return core.Stats(), nil
+	stats := *core.Stats()
+	putCore(key, core)
+	return &stats, nil
 }

@@ -9,6 +9,11 @@ const (
 	pageBytes = 1 << pageShift
 	pageWords = pageBytes / 8
 	pageMask  = pageBytes - 1
+
+	// Pages are carved from slabs of this many, so materialising a large
+	// region (a pointer ring, a first-touch sweep) costs one allocation
+	// per slab instead of one per page.
+	slabPages = 64
 )
 
 type page [pageWords]uint64
@@ -19,6 +24,13 @@ type page [pageWords]uint64
 // (Figure 1 of the paper).
 type Memory struct {
 	pages map[uint64]*page
+	slab  []page // never-handed-out backing for new pages
+
+	// One-entry MRU cache: workload kernels touch the same page in runs
+	// (sequential walkers, store/reload pairs), so most accesses skip the
+	// map entirely.
+	mruKey  uint64
+	mruPage *page
 
 	// Fill is returned by reads of never-written words. Leaving it zero
 	// models zero-initialised memory.
@@ -32,28 +44,42 @@ func New() *Memory {
 
 // Read64 returns the 64-bit word containing byte address addr.
 func (m *Memory) Read64(addr uint64) uint64 {
-	p, ok := m.pages[addr>>pageShift]
+	key := addr >> pageShift
+	if p := m.mruPage; p != nil && key == m.mruKey {
+		return p[(addr&pageMask)>>3]
+	}
+	p, ok := m.pages[key]
 	if !ok {
 		return m.Fill
 	}
+	m.mruKey, m.mruPage = key, p
 	return p[(addr&pageMask)>>3]
 }
 
 // Write64 stores v in the 64-bit word containing byte address addr.
 func (m *Memory) Write64(addr, v uint64) {
 	key := addr >> pageShift
-	p, ok := m.pages[key]
-	if !ok {
-		if m.pages == nil {
-			m.pages = make(map[uint64]*page)
-		}
-		p = new(page)
-		if m.Fill != 0 {
-			for i := range p {
-				p[i] = m.Fill
+	p := m.mruPage
+	if p == nil || key != m.mruKey {
+		var ok bool
+		p, ok = m.pages[key]
+		if !ok {
+			if m.pages == nil {
+				m.pages = make(map[uint64]*page)
 			}
+			if len(m.slab) == 0 {
+				m.slab = make([]page, slabPages)
+			}
+			p = &m.slab[0]
+			m.slab = m.slab[1:]
+			if m.Fill != 0 {
+				for i := range p {
+					p[i] = m.Fill
+				}
+			}
+			m.pages[key] = p
 		}
-		m.pages[key] = p
+		m.mruKey, m.mruPage = key, p
 	}
 	p[(addr&pageMask)>>3] = v
 }
@@ -64,5 +90,11 @@ func (m *Memory) Pages() int { return len(m.pages) }
 // Footprint reports the touched footprint in bytes.
 func (m *Memory) Footprint() uint64 { return uint64(len(m.pages)) * pageBytes }
 
-// Reset drops all pages, returning the memory to its initial state.
-func (m *Memory) Reset() { m.pages = make(map[uint64]*page) }
+// Reset drops all pages, returning the memory to its initial state. The
+// remaining slab is kept: its pages were never handed out, so they are still
+// zero.
+func (m *Memory) Reset() {
+	m.pages = make(map[uint64]*page)
+	m.mruPage = nil
+	m.mruKey = 0
+}

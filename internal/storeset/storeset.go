@@ -39,6 +39,17 @@ func New(ssitEntries, lfstEntries int) *Table {
 	return t
 }
 
+// Reset clears all learned store sets and statistics in place, as if freshly
+// constructed.
+func (t *Table) Reset() {
+	for i := range t.ssit {
+		t.ssit[i] = -1
+	}
+	clear(t.lfst)
+	t.nextSSID = 0
+	t.Violations, t.Merges = 0, 0
+}
+
 func (t *Table) ssitIdx(pc uint64) int {
 	if t.ssitMask != 0 {
 		return int(uint32(pc>>2) & t.ssitMask)

@@ -56,6 +56,17 @@ type Replay struct {
 // NewReplay wraps src.
 func NewReplay(src Source) *Replay { return &Replay{src: src} }
 
+// Reset rebinds the buffer to a new source and rewinds all sequencing state,
+// keeping the grown ring. A worker that replays many jobs through one Replay
+// pays the ring allocation once: after the first job the refill path recycles
+// the retained storage forever.
+func (r *Replay) Reset(src Source) {
+	r.src = src
+	r.head, r.size, r.pos = 0, 0, 0
+	r.nextSeq = 0
+	r.done = false
+}
+
 func (r *Replay) at(seq uint64) *uarch.Inst { return &r.ring[seq&uint64(len(r.ring)-1)] }
 
 // grow doubles the ring, re-placing the retained window under the new mask.
@@ -73,31 +84,64 @@ func (r *Replay) grow() {
 	r.ring = fresh
 }
 
+// refillBatch is the number of instructions pulled from the source per
+// refill. Batching amortizes the source's per-call overhead and keeps the
+// fetch stage on the ring fast path almost always.
+const refillBatch = 64
+
+// refill pulls up to refillBatch instructions from the source into the ring
+// ahead of the delivery position, writing each directly into its ring slot.
+// The source is pure (its state does not depend on pipeline timing) and the
+// delivery order is unchanged, so pre-pulling is invisible to the consumer.
+func (r *Replay) refill() {
+	if r.done {
+		return
+	}
+	for n := 0; n < refillBatch; n++ {
+		if r.size == len(r.ring) {
+			r.grow()
+		}
+		in, ok := r.src.Next()
+		if !ok {
+			r.done = true
+			return
+		}
+		in.Seq = r.nextSeq
+		r.nextSeq++
+		*r.at(in.Seq) = in
+		r.size++
+	}
+}
+
 // Next returns the next instruction to fetch (possibly a replayed one).
 func (r *Replay) Next() (uarch.Inst, bool) {
-	if r.pos < r.size {
-		in := *r.at(r.head + uint64(r.pos))
-		r.pos++
-		return in, true
+	if r.pos == r.size {
+		r.refill()
+		if r.pos == r.size {
+			return uarch.Inst{}, false
+		}
 	}
-	if r.done {
-		return uarch.Inst{}, false
-	}
-	in, ok := r.src.Next()
-	if !ok {
-		r.done = true
-		return uarch.Inst{}, false
-	}
-	in.Seq = r.nextSeq
-	r.nextSeq++
-	if r.size == len(r.ring) {
-		r.grow()
-	}
-	*r.at(in.Seq) = in
-	r.size++
-	r.pos = r.size
+	in := *r.at(r.head + uint64(r.pos))
+	r.pos++
 	return in, true
 }
+
+// Peek returns the next instruction without consuming it. The pointer is
+// valid until the next Peek/Next/RewindTo call. A fetch stage that stalls on
+// the instruction (icache miss, queue full) simply does not Advance — no
+// rewind needed.
+func (r *Replay) Peek() (*uarch.Inst, bool) {
+	if r.pos == r.size {
+		r.refill()
+		if r.pos == r.size {
+			return nil, false
+		}
+	}
+	return r.at(r.head + uint64(r.pos)), true
+}
+
+// Advance consumes the instruction last returned by Peek.
+func (r *Replay) Advance() { r.pos++ }
 
 // RewindTo makes seq the next instruction delivered by Next. seq must still
 // be retained (not yet released).
@@ -126,5 +170,7 @@ func (r *Replay) Release(seq uint64) {
 	r.pos -= n
 }
 
-// Retained reports the number of buffered instructions.
-func (r *Replay) Retained() int { return r.size }
+// Retained reports the number of delivered instructions still replayable
+// (the inflight window). Pre-pulled instructions that have not been
+// delivered yet are not counted.
+func (r *Replay) Retained() int { return r.pos }

@@ -109,6 +109,83 @@ func TestReplayRewindBeforeReleasePanics(t *testing.T) {
 	r.RewindTo(1)
 }
 
+// TestReplayRefillReuse pins the pooled-refill property: once the ring has
+// grown to the working window, further refills (and whole jobs replayed
+// through Reset) recycle the retained storage and allocate nothing.
+func TestReplayRefillReuse(t *testing.T) {
+	insts := make([]uarch.Inst, 4096)
+	for i := range insts {
+		insts[i].PC = uint64(0x1000 + i*4)
+	}
+	r := NewReplay(&sliceSource{insts: insts})
+	// Warm the ring past the refill batch so steady state is reached.
+	for i := 0; i < 512; i++ {
+		if _, ok := r.Next(); !ok {
+			t.Fatal("source exhausted early")
+		}
+		r.Release(uint64(i))
+	}
+	avg := testing.AllocsPerRun(8, func() {
+		for i := 0; i < 256; i++ {
+			in, ok := r.Next()
+			if !ok {
+				t.Fatal("source exhausted early")
+			}
+			r.Release(in.Seq)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state refill allocated %.1f times per 256 insts, want 0", avg)
+	}
+
+	// Reset rebinds to a fresh source but keeps the grown ring: the second
+	// job's refills allocate nothing at all.
+	second := &sliceSource{insts: insts}
+	avg = testing.AllocsPerRun(8, func() {
+		second.i = 0
+		r.Reset(second)
+		for i := 0; i < 1024; i++ {
+			in, ok := r.Next()
+			if !ok || in.Seq != uint64(i) || in.PC != insts[i].PC {
+				t.Fatalf("after Reset: inst %d got seq=%d ok=%v", i, in.Seq, ok)
+			}
+			r.Release(in.Seq)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("post-Reset job allocated %.1f times, want 0", avg)
+	}
+}
+
+// TestReplayPeekAdvance: Peek exposes the next instruction without consuming
+// it; Advance consumes it. A non-advanced Peek is a free stall (the rewind-
+// free form of fetch backpressure).
+func TestReplayPeekAdvance(t *testing.T) {
+	insts := make([]uarch.Inst, 16)
+	for i := range insts {
+		insts[i].PC = uint64(i) * 4
+	}
+	r := NewReplay(&sliceSource{insts: insts})
+	for i := 0; i < 3; i++ { // repeated peeks do not consume
+		in, ok := r.Peek()
+		if !ok || in.Seq != 0 || in.PC != 0 {
+			t.Fatalf("peek %d: got seq=%d ok=%v", i, in.Seq, ok)
+		}
+	}
+	r.Advance()
+	in, ok := r.Peek()
+	if !ok || in.Seq != 1 {
+		t.Fatalf("after advance: seq=%d ok=%v", in.Seq, ok)
+	}
+	r.Advance()
+	// Peek after a rewind replays from the rewound position.
+	r.RewindTo(0)
+	got, ok := r.Next()
+	if !ok || got.Seq != 0 {
+		t.Fatalf("after rewind: seq=%d ok=%v", got.Seq, ok)
+	}
+}
+
 // Property: any sequence of next/rewind operations yields instructions whose
 // seq always matches their position in the original stream.
 func TestQuickReplayConsistency(t *testing.T) {

@@ -80,6 +80,15 @@ func New(cfg Config, conf predictor.ConfPolicy, rng *rand.Rand) *DVTAGE {
 	return d
 }
 
+// Reset clears all learned state and statistics in place, as if freshly
+// constructed. The tie-breaker RNG is shared and must be reseeded by the
+// owner.
+func (d *DVTAGE) Reset() {
+	clear(d.lvt)
+	d.tage.Reset()
+	d.Lookups, d.Used, d.Correct, d.Wrong = 0, 0, 0, 0
+}
+
 // Lookup carries the prediction and its training state.
 type Lookup struct {
 	Value   uint64

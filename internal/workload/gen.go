@@ -25,6 +25,14 @@ type region struct {
 	salt  uint64
 	entry uint64 // MPtrRing: first node address
 
+	// MPtrRing: ring[node] is the address of node's successor. The ring is
+	// never materialised in functional memory — the only reads are the
+	// chase loads at node-base addresses, which valueAt answers from this
+	// table; everything else in the region reads as untouched memory,
+	// exactly as when the pointers were stored one word per node.
+	ring      []uint64
+	nodeBytes uint64
+
 	content *valueSeq
 }
 
@@ -70,6 +78,14 @@ func mix64(x uint64) uint64 {
 func (r *region) valueAt(g *Gen, addr uint64) uint64 {
 	c := r.spec.Content
 	if c == nil {
+		if r.ring != nil {
+			off := addr - r.base
+			if off%r.nodeBytes == 0 {
+				if node := off / r.nodeBytes; node < uint64(len(r.ring)) {
+					return r.ring[node]
+				}
+			}
+		}
 		return g.mem.Read64(addr)
 	}
 	h := mix64(addr + r.salt)
@@ -115,6 +131,8 @@ type Gen struct {
 
 	q    []uarch.Inst
 	qpos int
+
+	ringScratch []uint64 // shuffle-order scratch shared by initRing calls
 }
 
 // Memory layout: code at 0x10000, dispatcher at 0xF000, data regions from
@@ -193,17 +211,20 @@ func (g *Gen) initRing(r *region) {
 	if n < 2 {
 		n = 2
 	}
-	order := make([]uint64, n)
+	if uint64(cap(g.ringScratch)) < n {
+		g.ringScratch = make([]uint64, n)
+	}
+	order := g.ringScratch[:n]
 	for i := range order {
 		order[i] = uint64(i)
 	}
 	if r.spec.Shuffle {
 		g.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 	}
+	r.nodeBytes = nodeBytes
+	r.ring = make([]uint64, n)
 	for i := range order {
-		cur := r.base + order[i]*nodeBytes
-		next := r.base + order[(i+1)%len(order)]*nodeBytes
-		g.mem.Write64(cur, next)
+		r.ring[order[i]] = r.base + order[(uint64(i)+1)%n]*nodeBytes
 	}
 	r.entry = r.base + order[0]*nodeBytes
 }

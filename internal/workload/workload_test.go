@@ -188,7 +188,7 @@ func TestPtrRingIsCycle(t *testing.T) {
 			t.Fatalf("ring revisits node %#x after %d hops, want %d", p, i, n)
 		}
 		seen[p] = true
-		p = g.mem.Read64(p)
+		p = r.valueAt(g, p)
 	}
 	if p != r.entry {
 		t.Fatal("ring does not close")
