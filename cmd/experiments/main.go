@@ -38,33 +38,31 @@ import (
 	"syscall"
 	"time"
 
+	"rsepsim/internal/cliutil"
 	"rsepsim/internal/experiments"
 	"rsepsim/internal/metrics"
 	"rsepsim/internal/prof"
 	"rsepsim/internal/runner"
-	"rsepsim/internal/serve"
-	"rsepsim/internal/store"
 )
 
 func main() {
-	defaultDir, _ := store.DefaultDir()
+	var shared cliutil.Flags
+	shared.RegisterStore(flag.CommandLine)
+	shared.RegisterServer(flag.CommandLine)
+	shared.RegisterJSON(flag.CommandLine)
+	shared.RegisterSlices(flag.CommandLine)
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, hist, isrb, hash, comparators, gshare, table1, storage, all")
-		bench     = flag.String("bench", "", "comma-separated benchmark subset (default: all 29)")
-		segments  = flag.Int("segments", 0, "segments (checkpoints) per benchmark")
-		warmup    = flag.Uint64("warmup", 0, "warmup instructions per segment")
-		measure   = flag.Uint64("measure", 0, "measured instructions per segment")
-		seed      = flag.Int64("seed", 0, "base random seed")
-		par       = flag.Int("par", 0, "parallel simulations (default NumCPU)")
-		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		jsonOut   = flag.Bool("json", false, "emit each table as a JSON object")
-		verbose   = flag.Bool("v", false, "report per-job progress on stderr")
-		cacheDir  = flag.String("cache-dir", defaultDir, "persistent result store directory")
-		cacheMode = flag.String("cache", "rw", "result store mode: off (in-memory only), ro, rw")
-		cacheWarm = flag.Bool("cache-warm", false, "preload the memory tier from disk before running")
-		server    = flag.String("server", "", "run batches on a rsepd daemon at this URL instead of in-process")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		fig      = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, hist, isrb, hash, comparators, gshare, table1, storage, all")
+		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all 29)")
+		segments = flag.Int("segments", 0, "segments (checkpoints) per benchmark")
+		warmup   = flag.Uint64("warmup", 0, "warmup instructions per segment")
+		measure  = flag.Uint64("measure", 0, "measured instructions per segment")
+		seed     = flag.Int64("seed", 0, "base random seed")
+		par      = flag.Int("par", 0, "parallel simulations (default NumCPU)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		verbose  = flag.Bool("v", false, "report per-job progress on stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -91,33 +89,21 @@ func main() {
 		Measure:     *measure,
 		BaseSeed:    *seed,
 		Parallelism: *par,
+		Slices:      uint32(shared.Slices),
 	}
-	// counterSource is whatever can report hit/miss/stale for the per-figure
-	// stderr line: the mounted store locally, the client's accumulated
+	// The backend reports hit/miss/stale for the per-figure stderr line
+	// either way: the mounted store locally, the client's accumulated
 	// per-batch deltas remotely.
-	type counterSource interface{ Counters() runner.Counters }
-	var counters counterSource
-	var disk *store.Disk
-	if *server != "" {
-		store.WarnServerIgnored("experiments")
-		client, err := serve.NewClient(*server)
-		if err != nil {
-			fail(2, "%v", err)
-		}
-		opt.Runner = client
-		counters = client
-	} else {
-		resStore, d, err := store.MountFlags("experiments", *cacheDir, *cacheMode)
-		if err != nil {
-			fail(2, "%v", err)
-		}
-		disk = d
-		opt.Store = resStore
-		counters = resStore
-		if err := store.WarmFlags("experiments", resStore, *cacheWarm); err != nil {
-			fail(2, "%v", err)
-		}
+	backend, err := shared.Backend("experiments")
+	if err != nil {
+		fail(2, "%v", err)
 	}
+	if backend.Client != nil {
+		opt.Runner = backend.Client
+	} else {
+		opt.Store = backend.Store
+	}
+	counters := backend
 	if *bench != "" {
 		opt.Benchmarks = strings.Split(*bench, ",")
 	}
@@ -157,7 +143,7 @@ func main() {
 
 	emit := func(t *metrics.Table) {
 		switch {
-		case *jsonOut:
+		case shared.JSON:
 			if err := t.JSON(os.Stdout); err != nil {
 				fail(1, "%v", err)
 			}
@@ -199,5 +185,5 @@ func main() {
 	if !ran && want != "all" {
 		fail(2, "unknown figure %q", want)
 	}
-	store.WarnWrites("experiments", disk)
+	backend.WarnWrites("experiments")
 }

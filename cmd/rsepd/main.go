@@ -7,7 +7,9 @@
 // caches can memoize.
 //
 // Endpoints: POST /v1/batches (NDJSON or SSE result stream),
-// GET /v1/results/{id}, /healthz, /metrics (Prometheus text).
+// GET /v1/results/{id}, GET /v1/status (scheduler and store gauges),
+// /healthz, /metrics (Prometheus text). Errors are a uniform JSON envelope
+// {"error":{"code","message"}}; see README.md for the API reference.
 //
 // Usage:
 //
@@ -47,19 +49,18 @@ import (
 	"syscall"
 	"time"
 
+	"rsepsim/internal/cliutil"
 	"rsepsim/internal/runner"
 	"rsepsim/internal/serve"
 	"rsepsim/internal/store"
 )
 
 func main() {
-	defaultDir, _ := store.DefaultDir()
+	var shared cliutil.Flags
+	shared.RegisterStore(flag.CommandLine)
 	var (
 		addr      = flag.String("addr", ":8321", "listen address")
 		par       = flag.Int("par", 0, "concurrent simulations (default NumCPU)")
-		cacheDir  = flag.String("cache-dir", defaultDir, "persistent result store directory")
-		cacheMode = flag.String("cache", "rw", "result store mode: off (in-memory only), ro, rw")
-		cacheWarm = flag.Bool("cache-warm", false, "preload the memory tier from disk at startup")
 		verbose   = flag.Bool("v", false, "log every admitted batch")
 		drainSecs = flag.Int("drain", 30, "graceful shutdown drain budget, seconds")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off when empty; use a loopback or internal interface)")
@@ -72,13 +73,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	resStore, disk, err := store.MountFlags("rsepd", *cacheDir, *cacheMode)
+	backend, err := shared.Backend("rsepd")
 	if err != nil {
 		fail("%v", err)
 	}
-	if err := store.WarmFlags("rsepd", resStore, *cacheWarm); err != nil {
-		fail("%v", err)
-	}
+	resStore, disk := backend.Store, backend.Disk
 
 	sched := runner.NewScheduler(runner.SchedulerOptions{
 		Parallelism: *par,
@@ -122,7 +121,7 @@ func main() {
 	}
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	if disk != nil {
-		logger.Printf("serving on %s over %s (%s)", *addr, disk.Dir(), *cacheMode)
+		logger.Printf("serving on %s over %s (%s)", *addr, disk.Dir(), shared.CacheMode)
 	} else {
 		logger.Printf("serving on %s with an in-memory store", *addr)
 	}

@@ -10,6 +10,7 @@
 //	rsepsim -bench hmmer -mech rsep-realistic,vp -warmup 200000
 //	rsepsim -bench astar -json          # machine-readable stats
 //	rsepsim -bench mcf -cache off       # always re-simulate
+//	rsepsim -bench mcf -slices 10       # checkpoint-chained, resumable run
 //	rsepsim -bench mcf -server http://localhost:8321   # run on a rsepd daemon
 //	rsepsim -list
 package main
@@ -23,34 +24,32 @@ import (
 	"strings"
 	"syscall"
 
+	"rsepsim/internal/cliutil"
 	"rsepsim/internal/config"
 	"rsepsim/internal/metrics"
 	"rsepsim/internal/prof"
 	"rsepsim/internal/rsep"
 	"rsepsim/internal/runner"
-	"rsepsim/internal/serve"
-	"rsepsim/internal/store"
 	"rsepsim/internal/vpred"
 	"rsepsim/internal/workload"
 )
 
 func main() {
-	defaultDir, _ := store.DefaultDir()
+	var shared cliutil.Flags
+	shared.RegisterStore(flag.CommandLine)
+	shared.RegisterServer(flag.CommandLine)
+	shared.RegisterJSON(flag.CommandLine)
+	shared.RegisterSlices(flag.CommandLine)
 	var (
-		bench     = flag.String("bench", "mcf", "benchmark name")
-		mech      = flag.String("mech", "", "mechanisms: comma list of zeropred, moveelim, rsep, rsep-realistic, vp, oracle")
-		insts     = flag.Uint64("insts", 300_000, "instructions to measure")
-		warmup    = flag.Uint64("warmup", 100_000, "warmup instructions")
-		seed      = flag.Int64("seed", 42, "workload seed")
-		list      = flag.Bool("list", false, "list benchmarks and exit")
-		jsonOut   = flag.Bool("json", false, "emit the raw stats as JSON")
-		verbose   = flag.Bool("v", false, "report cache status on stderr")
-		cacheDir  = flag.String("cache-dir", defaultDir, "persistent result store directory")
-		cacheMode = flag.String("cache", "rw", "result store mode: off (in-memory only), ro, rw")
-		cacheWarm = flag.Bool("cache-warm", false, "preload the memory tier from disk before running")
-		server    = flag.String("server", "", "run on a rsepd daemon at this URL instead of in-process")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		bench   = flag.String("bench", "mcf", "benchmark name")
+		mech    = flag.String("mech", "", "mechanisms: comma list of zeropred, moveelim, rsep, rsep-realistic, vp, oracle")
+		insts   = flag.Uint64("insts", 300_000, "instructions to measure")
+		warmup  = flag.Uint64("warmup", 100_000, "warmup instructions")
+		seed    = flag.Int64("seed", 42, "workload seed")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+		verbose = flag.Bool("v", false, "report cache status on stderr")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -102,55 +101,34 @@ func main() {
 
 	// The run goes through a BatchRunner either way: the in-process pool, or
 	// a client for the remote daemon — the submission below cannot tell.
-	var br runner.BatchRunner
-	var disk *store.Disk
-	reportCache := func() {}
-	if *server != "" {
-		store.WarnServerIgnored("rsepsim")
-		client, err := serve.NewClient(*server)
-		if err != nil {
-			fail(2, err)
-		}
-		br = client
-		if *verbose {
-			reportCache = func() {
-				c := client.Counters()
-				fmt.Fprintf(os.Stderr, "rsepsim: cache %d hits / %d misses / %d stale (%s)\n",
-					c.Hits, c.Misses, c.Stale, *server)
-			}
-		}
-	} else {
-		resStore, d, err := store.MountFlags("rsepsim", *cacheDir, *cacheMode)
-		if err != nil {
-			fail(2, err)
-		}
-		disk = d
-		if err := store.WarmFlags("rsepsim", resStore, *cacheWarm); err != nil {
-			fail(2, err)
-		}
-		br = runner.New(runner.Options{Parallelism: 1, Store: resStore})
-		if *verbose {
-			reportCache = func() {
-				c := resStore.Counters()
-				fmt.Fprintf(os.Stderr, "rsepsim: cache %d hits / %d misses / %d stale (%s, mode %s)\n",
-					c.Hits, c.Misses, c.Stale, *cacheDir, *cacheMode)
-			}
-		}
+	backend, err := shared.Backend("rsepsim")
+	if err != nil {
+		fail(2, err)
 	}
+	br := backend.Runner(1)
 	res, err := br.RunBatch(ctx, runner.Batch{Jobs: []runner.Job{{
 		Bench:   *bench,
 		Config:  cfg,
 		Seed:    *seed,
 		Warmup:  *warmup,
 		Measure: *insts,
+		Slices:  uint32(shared.Slices),
 	}}})
 	if err != nil {
 		fail(1, err)
 	}
 	st := res[0].Stats
-	reportCache()
-	store.WarnWrites("rsepsim", disk)
-	if *jsonOut {
+	if *verbose {
+		c := backend.Counters()
+		where := shared.Server
+		if where == "" {
+			where = fmt.Sprintf("%s, mode %s", shared.CacheDir, shared.CacheMode)
+		}
+		fmt.Fprintf(os.Stderr, "rsepsim: cache %d hits / %d misses / %d stale (%s)\n",
+			c.Hits, c.Misses, c.Stale, where)
+	}
+	backend.WarnWrites("rsepsim")
+	if shared.JSON {
 		if err := st.EncodeJSON(os.Stdout); err != nil {
 			fail(1, err)
 		}

@@ -5,19 +5,23 @@
 // existing) trace is replayed through the runner on the Table I core as an
 // end-to-end smoke check; the replay result is keyed by the trace file's
 // content hash in the persistent store, so re-checking an unchanged trace
-// is free (-cache-dir / -cache, as in the other commands).
+// is free (-cache-dir / -cache / -cache-warm and -json, as in the other
+// commands; there is no -server — a local trace file cannot be replayed on a
+// remote daemon).
 //
 // Usage:
 //
 //	tracegen -bench mcf -n 1000000 -o mcf.trc
 //	tracegen -bench mcf -n 1000000 -o mcf.trc -simulate
 //	tracegen -summarize mcf.trc
+//	tracegen -summarize mcf.trc -json
 package main
 
 import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,15 +30,20 @@ import (
 	"syscall"
 	"time"
 
+	"rsepsim/internal/cliutil"
 	"rsepsim/internal/config"
+	"rsepsim/internal/metrics"
 	"rsepsim/internal/runner"
-	"rsepsim/internal/store"
 	"rsepsim/internal/trace"
 	"rsepsim/internal/workload"
 )
 
 func main() {
-	defaultDir, _ := store.DefaultDir()
+	// The shared flag surface, minus -server: a materialized trace has no
+	// benchmark name to submit to a daemon, so replay is in-process only.
+	var shared cliutil.Flags
+	shared.RegisterStore(flag.CommandLine)
+	shared.RegisterJSON(flag.CommandLine)
 	var (
 		bench     = flag.String("bench", "", "benchmark to trace")
 		n         = flag.Uint64("n", 1_000_000, "instructions to emit")
@@ -42,8 +51,6 @@ func main() {
 		seed      = flag.Int64("seed", 42, "workload seed")
 		summarize = flag.String("summarize", "", "summarise an existing trace file")
 		simulate  = flag.Bool("simulate", false, "replay the trace through the simulator as a smoke check")
-		cacheDir  = flag.String("cache-dir", defaultDir, "persistent result store directory")
-		cacheMode = flag.String("cache", "rw", "result store mode: off (in-memory only), ro, rw")
 	)
 	flag.Parse()
 
@@ -56,22 +63,23 @@ func main() {
 	}
 	// The store only ever holds replay results, so don't touch (or even
 	// create) it unless -simulate is on.
+	var backend *cliutil.Backend
 	var resStore runner.Store
-	var disk *store.Disk
 	if *simulate {
 		var err error
-		resStore, disk, err = store.MountFlags("tracegen", *cacheDir, *cacheMode)
+		backend, err = shared.Backend("tracegen")
 		if err != nil {
 			fail(err)
 		}
+		resStore = backend.Store
 	}
 	switch {
 	case *summarize != "":
-		if err := summary(*summarize); err != nil {
+		if err := summary(*summarize, shared.JSON); err != nil {
 			fail(err)
 		}
 		if *simulate {
-			if err := replay(ctx, *summarize, resStore); err != nil {
+			if err := replay(ctx, *summarize, resStore, shared.JSON); err != nil {
 				fail(err)
 			}
 		}
@@ -80,7 +88,7 @@ func main() {
 			fail(err)
 		}
 		if *simulate {
-			if err := replay(ctx, *out, resStore); err != nil {
+			if err := replay(ctx, *out, resStore, shared.JSON); err != nil {
 				fail(err)
 			}
 		}
@@ -88,7 +96,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	store.WarnWrites("tracegen", disk)
+	if backend != nil {
+		backend.WarnWrites("tracegen")
+	}
 }
 
 func generate(ctx context.Context, bench, out string, n uint64, seed int64) error {
@@ -132,15 +142,25 @@ func generate(ctx context.Context, bench, out string, n uint64, seed int64) erro
 // A materialized trace has no benchmark name to key a cache entry by, so the
 // replay is keyed by the trace file's content hash instead: re-checking an
 // unchanged trace file becomes a store lookup.
-func replay(ctx context.Context, path string, resStore runner.Store) error {
+func replay(ctx context.Context, path string, resStore runner.Store, asJSON bool) error {
 	key, err := replayKey(path)
 	if err != nil {
 		return err
 	}
+	emit := func(st *metrics.Stats, cached bool) error {
+		if asJSON {
+			return st.EncodeJSON(os.Stdout)
+		}
+		tag := ""
+		if cached {
+			tag = " [cached]"
+		}
+		fmt.Printf("replayed %d instructions in %d cycles (IPC %.3f)%s\n", st.Committed, st.Cycles, st.IPC(), tag)
+		return nil
+	}
 	if resStore != nil {
 		if st, ok := resStore.Get(key); ok {
-			fmt.Printf("replayed %d instructions in %d cycles (IPC %.3f) [cached]\n", st.Committed, st.Cycles, st.IPC())
-			return nil
+			return emit(st, true)
 		}
 	}
 	f, err := os.Open(path)
@@ -163,8 +183,7 @@ func replay(ctx context.Context, path string, resStore runner.Store) error {
 	if resStore != nil {
 		resStore.Put(key, st, time.Since(start))
 	}
-	fmt.Printf("replayed %d instructions in %d cycles (IPC %.3f)\n", st.Committed, st.Cycles, st.IPC())
-	return nil
+	return emit(st, false)
 }
 
 // replayKey derives the runner.Key for a trace replay: the pseudo-benchmark
@@ -191,7 +210,7 @@ func replayKey(path string) (runner.Key, error) {
 	}, nil
 }
 
-func summary(path string) error {
+func summary(path string, asJSON bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -227,6 +246,19 @@ func summary(path string) error {
 	}
 	if err := r.Err(); err != nil {
 		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Instructions uint64 `json:"instructions"`
+			StaticPCs    int    `json:"static_pcs"`
+			Loads        uint64 `json:"loads"`
+			Stores       uint64 `json:"stores"`
+			Branches     uint64 `json:"branches"`
+			Producers    uint64 `json:"producers"`
+			ZeroResults  uint64 `json:"zero_results"`
+		}{total, len(pcs), loads, stores, branches, producers, zeros})
 	}
 	fmt.Printf("instructions  %d\n", total)
 	fmt.Printf("static PCs    %d\n", len(pcs))

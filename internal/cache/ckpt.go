@@ -1,0 +1,109 @@
+package cache
+
+import "rsepsim/internal/ckpt"
+
+// Save serializes the cache's contents and statistics. Geometry (set/way
+// counts, latencies, the prefetcher's shape) is not serialized — it is
+// reconstructed from the configuration, and Load refuses a mismatch.
+func (c *Cache) Save(w *ckpt.Writer) {
+	w.Mark("cache:" + c.cfg.Name)
+	ckpt.Slice(w, c.lines)
+	ckpt.Slice(w, c.tags)
+	ckpt.Slice(w, c.lru)
+	ckpt.Slice(w, c.mru)
+	w.Int(c.filled)
+	ckpt.Slice(w, c.mshrAddr)
+	ckpt.Slice(w, c.mshrFill)
+	w.U64(c.mshrMin)
+	w.U64(c.tick)
+	w.U64(c.Accesses)
+	w.U64(c.Misses)
+	w.U64(c.PrefetchIssued)
+	w.U64(c.PrefetchUseful)
+	w.U64(c.MSHRStalls)
+	if c.cfg.Prefetch != nil {
+		c.cfg.Prefetch.Save(w)
+	}
+}
+
+// Load restores state saved by Save into a cache of identical geometry.
+func (c *Cache) Load(r *ckpt.Reader) {
+	r.Expect("cache:" + c.cfg.Name)
+	ckpt.ReadSliceFixed(r, c.lines)
+	ckpt.ReadSliceFixed(r, c.tags)
+	ckpt.ReadSliceFixed(r, c.lru)
+	ckpt.ReadSliceFixed(r, c.mru)
+	c.filled = r.Int()
+	c.mshrAddr = ckpt.ReadSlice(r, c.mshrAddr)
+	c.mshrFill = ckpt.ReadSlice(r, c.mshrFill)
+	c.mshrMin = r.U64()
+	c.tick = r.U64()
+	c.Accesses = r.U64()
+	c.Misses = r.U64()
+	c.PrefetchIssued = r.U64()
+	c.PrefetchUseful = r.U64()
+	c.MSHRStalls = r.U64()
+	if c.cfg.Prefetch != nil {
+		c.cfg.Prefetch.Load(r)
+	}
+}
+
+// Save serializes the prefetcher's learned state.
+func (s *StridePrefetcher) Save(w *ckpt.Writer) {
+	w.Mark("pf:stride")
+	ckpt.Slice(w, s.entries)
+}
+
+// Load restores state saved by Save.
+func (s *StridePrefetcher) Load(r *ckpt.Reader) {
+	r.Expect("pf:stride")
+	ckpt.ReadSliceFixed(r, s.entries)
+}
+
+// Save serializes the prefetcher's learned state.
+func (s *StreamPrefetcher) Save(w *ckpt.Writer) {
+	w.Mark("pf:stream")
+	ckpt.Slice(w, s.lastLine)
+	ckpt.Slice(w, s.dir)
+	ckpt.Slice(w, s.conf)
+	ckpt.Slice(w, s.lru)
+	w.U64(s.clock)
+	w.Int(s.filled)
+}
+
+// Load restores state saved by Save.
+func (s *StreamPrefetcher) Load(r *ckpt.Reader) {
+	r.Expect("pf:stream")
+	ckpt.ReadSliceFixed(r, s.lastLine)
+	ckpt.ReadSliceFixed(r, s.dir)
+	ckpt.ReadSliceFixed(r, s.conf)
+	ckpt.ReadSliceFixed(r, s.lru)
+	s.clock = r.U64()
+	s.filled = r.Int()
+}
+
+// Save serializes the TLB's translations and statistics.
+func (t *TLB) Save(w *ckpt.Writer) {
+	w.Mark("tlb")
+	ckpt.Slice(w, t.pages)
+	ckpt.Slice(w, t.lru)
+	ckpt.Slice(w, t.present)
+	w.U64(t.clock)
+	w.Int(t.mru)
+	w.Int(t.filled)
+	w.U64(t.Accesses)
+	w.U64(t.Misses)
+}
+
+// Load restores state saved by Save into a TLB of identical geometry.
+func (t *TLB) Load(r *ckpt.Reader) {
+	r.Expect("tlb")
+	ckpt.ReadSliceFixed(r, t.pages)
+	ckpt.ReadSliceFixed(r, t.lru)
+	ckpt.ReadSliceFixed(r, t.present)
+	t.clock = r.U64()
+	t.mru = r.Int()
+	t.filled = r.Int()
+	t.Accesses = r.U64()
+	t.Misses = r.U64()
+}

@@ -1,5 +1,7 @@
 package cache
 
+import "rsepsim/internal/ckpt"
+
 // Prefetcher observes demand accesses and proposes prefetch target addresses.
 type Prefetcher interface {
 	// Observe is called on each demand access with the address, the
@@ -8,6 +10,10 @@ type Prefetcher interface {
 	Observe(addr, pc uint64, miss bool) []uint64
 	// Reset clears all learned state in place, as if freshly constructed.
 	Reset()
+	// Save serializes the learned state; Load restores it into a
+	// prefetcher of identical geometry (see ckpt.go).
+	Save(w *ckpt.Writer)
+	Load(r *ckpt.Reader)
 }
 
 // StridePrefetcher is the per-PC stride prefetcher attached to the L1D

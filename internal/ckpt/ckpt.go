@@ -1,0 +1,381 @@
+// Package ckpt implements the binary checkpoint container used to serialize
+// simulator state: a small magic/version/architecture header, a stream of
+// primitive values and raw POD-slice sections, and a trailing CRC-64 over
+// everything in between.
+//
+// The format is deliberately *not* an interchange format. Slices of plain-old
+// -data structs are dumped with their in-memory layout (native endianness,
+// native word size, native field padding), so a checkpoint is only guaranteed
+// to restore under a binary built for the same architecture — the header's
+// architecture probe refuses anything else. What the format buys in exchange
+// is that saving or restoring a multi-megabyte predictor table is one
+// contiguous copy instead of a per-field walk.
+//
+// Both Writer and Reader latch the first error: after a failure every
+// subsequent call is a cheap no-op (reads return zero values), so component
+// save/load code can stay free of error plumbing and the caller checks
+// Err/Close once at the end. Reader.Close verifies the checksum, turning any
+// torn or bit-flipped checkpoint into an error instead of corrupt state.
+package ckpt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"reflect"
+	"sync"
+	"unsafe"
+)
+
+// FormatVersion identifies the container layout. Bump on any incompatible
+// change to the header or framing; component-level layout changes are caught
+// by the section tags and, failing that, the checksum.
+const FormatVersion uint32 = 1
+
+const magic = "RSEPCKPT"
+
+// archProbe is written raw (native byte order, 8 bytes) and compared raw: a
+// checkpoint read on a machine with different endianness or word conventions
+// fails here instead of deserializing garbage.
+const archProbe uint64 = 0x0102_0304_0506_0708
+
+// wordProbe additionally pins the native int size (raw struct dumps embed
+// int-typed fields).
+const wordProbe = uint64(unsafe.Sizeof(int(0)))
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// ErrChecksum is returned (wrapped) by Reader.Close when the trailing CRC
+// does not match the bytes read.
+var ErrChecksum = errors.New("ckpt: checksum mismatch")
+
+// maxSliceElems bounds any single serialized slice, so a corrupt length field
+// fails cleanly instead of attempting a giant allocation.
+const maxSliceElems = 1 << 31
+
+// Writer serializes a checkpoint stream.
+type Writer struct {
+	bw  *bufio.Writer
+	crc uint64
+	err error
+}
+
+// NewWriter starts a checkpoint stream on w, emitting the header.
+func NewWriter(w io.Writer) *Writer {
+	cw := &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+	cw.writeRaw([]byte(magic))
+	cw.U32(FormatVersion)
+	var probe [8]byte
+	*(*uint64)(unsafe.Pointer(&probe[0])) = archProbe
+	cw.writeRaw(probe[:])
+	cw.U64(wordProbe)
+	return cw
+}
+
+// Err returns the first error encountered.
+func (w *Writer) Err() error { return w.err }
+
+func (w *Writer) fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+func (w *Writer) writeRaw(b []byte) {
+	if w.err != nil {
+		return
+	}
+	if _, err := w.bw.Write(b); err != nil {
+		w.fail(err)
+		return
+	}
+	w.crc = crc64.Update(w.crc, crcTable, b)
+}
+
+// U64 writes a fixed-width unsigned value.
+func (w *Writer) U64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.writeRaw(b[:])
+}
+
+// U32 writes a fixed-width unsigned value.
+func (w *Writer) U32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.writeRaw(b[:])
+}
+
+// I64 writes a signed value.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int writes a native int as 64 bits.
+func (w *Writer) Int(v int) { w.U64(uint64(int64(v))) }
+
+// Bool writes a boolean.
+func (w *Writer) Bool(v bool) {
+	var b [1]byte
+	if v {
+		b[0] = 1
+	}
+	w.writeRaw(b[:])
+}
+
+// F64 writes a float64 bit pattern.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Str writes a length-prefixed string.
+func (w *Writer) Str(s string) {
+	w.U64(uint64(len(s)))
+	w.writeRaw([]byte(s))
+}
+
+// Mark writes a section tag. Reader.Expect with the same tag detects format
+// skew at the section boundary instead of at the final checksum.
+func (w *Writer) Mark(tag string) { w.Str(tag) }
+
+// Close writes the CRC trailer and flushes. The Writer is unusable after.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], w.crc)
+	if _, err := w.bw.Write(b[:]); err != nil {
+		w.fail(err)
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.fail(err)
+	}
+	return w.err
+}
+
+// Reader deserializes a checkpoint stream.
+type Reader struct {
+	br  *bufio.Reader
+	crc uint64
+	err error
+}
+
+// NewReader opens a checkpoint stream, validating the header. A version or
+// architecture mismatch is an immediate error.
+func NewReader(r io.Reader) (*Reader, error) {
+	cr := &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+	head := make([]byte, len(magic))
+	cr.readRaw(head)
+	if cr.err == nil && string(head) != magic {
+		return nil, fmt.Errorf("ckpt: bad magic %q", head)
+	}
+	if v := cr.U32(); cr.err == nil && v != FormatVersion {
+		return nil, fmt.Errorf("ckpt: format version %d, want %d", v, FormatVersion)
+	}
+	var probe [8]byte
+	cr.readRaw(probe[:])
+	if cr.err == nil && *(*uint64)(unsafe.Pointer(&probe[0])) != archProbe {
+		return nil, errors.New("ckpt: checkpoint written on an incompatible architecture")
+	}
+	if wp := cr.U64(); cr.err == nil && wp != wordProbe {
+		return nil, errors.New("ckpt: checkpoint written with an incompatible word size")
+	}
+	if cr.err != nil {
+		return nil, cr.err
+	}
+	return cr, nil
+}
+
+// Err returns the first error encountered.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) readRaw(b []byte) {
+	if r.err != nil {
+		for i := range b {
+			b[i] = 0
+		}
+		return
+	}
+	if _, err := io.ReadFull(r.br, b); err != nil {
+		r.fail(fmt.Errorf("ckpt: truncated checkpoint: %w", err))
+		for i := range b {
+			b[i] = 0
+		}
+		return
+	}
+	r.crc = crc64.Update(r.crc, crcTable, b)
+}
+
+// U64 reads a fixed-width unsigned value.
+func (r *Reader) U64() uint64 {
+	var b [8]byte
+	r.readRaw(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// U32 reads a fixed-width unsigned value.
+func (r *Reader) U32() uint32 {
+	var b [4]byte
+	r.readRaw(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// I64 reads a signed value.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads a native int written by Writer.Int.
+func (r *Reader) Int() int { return int(int64(r.U64())) }
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool {
+	var b [1]byte
+	r.readRaw(b[:])
+	return b[0] != 0
+}
+
+// F64 reads a float64 bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Str reads a length-prefixed string.
+func (r *Reader) Str() string {
+	n := r.U64()
+	if n > maxSliceElems {
+		r.fail(fmt.Errorf("ckpt: implausible string length %d", n))
+		return ""
+	}
+	b := make([]byte, n)
+	r.readRaw(b)
+	return string(b)
+}
+
+// Expect consumes a section tag and fails unless it matches.
+func (r *Reader) Expect(tag string) {
+	if got := r.Str(); r.err == nil && got != tag {
+		r.fail(fmt.Errorf("ckpt: section %q, want %q", got, tag))
+	}
+}
+
+// Close consumes the CRC trailer and verifies it. It must be called after the
+// last value has been read; leftover payload surfaces as a CRC mismatch.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	var b [8]byte
+	if _, err := io.ReadFull(r.br, b[:]); err != nil {
+		r.fail(fmt.Errorf("ckpt: truncated checkpoint: %w", err))
+		return r.err
+	}
+	if binary.LittleEndian.Uint64(b[:]) != r.crc {
+		r.fail(ErrChecksum)
+	}
+	return r.err
+}
+
+// podCache memoizes the pointer-freeness verdict per element type.
+var podCache sync.Map // reflect.Type -> bool
+
+// assertPOD panics if T contains pointers, slices, maps, strings or other
+// reference kinds — raw-dumping such a type would serialize addresses. The
+// check runs once per type.
+func assertPOD[T any]() {
+	var zero T
+	t := reflect.TypeOf(zero)
+	if ok, seen := podCache.Load(t); seen {
+		if !ok.(bool) {
+			panic(fmt.Sprintf("ckpt: type %v is not plain old data", t))
+		}
+		return
+	}
+	ok := isPOD(t)
+	podCache.Store(t, ok)
+	if !ok {
+		panic(fmt.Sprintf("ckpt: type %v is not plain old data", t))
+	}
+}
+
+func isPOD(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128:
+		return true
+	case reflect.Array:
+		return isPOD(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if !isPOD(t.Field(i).Type) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func rawBytes[T any](s []T) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	var zero T
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*int(unsafe.Sizeof(zero)))
+}
+
+// Slice writes a length-prefixed raw dump of a POD slice.
+func Slice[T any](w *Writer, s []T) {
+	assertPOD[T]()
+	w.U64(uint64(len(s)))
+	w.writeRaw(rawBytes(s))
+}
+
+// ReadSlice reads a slice written by Slice, reusing s's backing array when it
+// is large enough. It returns the restored slice.
+func ReadSlice[T any](r *Reader, s []T) []T {
+	assertPOD[T]()
+	n := r.U64()
+	if n > maxSliceElems {
+		r.fail(fmt.Errorf("ckpt: implausible slice length %d", n))
+		return s[:0]
+	}
+	if uint64(cap(s)) >= n {
+		s = s[:n]
+	} else {
+		s = make([]T, n)
+	}
+	r.readRaw(rawBytes(s))
+	return s
+}
+
+// ReadSliceFixed reads a slice written by Slice into s in place, failing
+// unless the stored length equals len(s). Use it for geometry-sized tables
+// whose length is fixed by the configuration.
+func ReadSliceFixed[T any](r *Reader, s []T) {
+	assertPOD[T]()
+	if n := r.U64(); n != uint64(len(s)) {
+		r.fail(fmt.Errorf("ckpt: slice length %d, want %d (geometry mismatch)", n, len(s)))
+		return
+	}
+	r.readRaw(rawBytes(s))
+}
+
+// Struct writes one POD struct raw.
+func Struct[T any](w *Writer, v *T) {
+	assertPOD[T]()
+	w.writeRaw(unsafe.Slice((*byte)(unsafe.Pointer(v)), unsafe.Sizeof(*v)))
+}
+
+// ReadStruct reads a struct written by Struct.
+func ReadStruct[T any](r *Reader, v *T) {
+	assertPOD[T]()
+	r.readRaw(unsafe.Slice((*byte)(unsafe.Pointer(v)), unsafe.Sizeof(*v)))
+}

@@ -1,0 +1,105 @@
+// Package cliutil centralizes the flag surface the simulation-facing
+// commands share. rsepsim, experiments and tracegen register the same flag
+// names with the same help text through one helper instead of three
+// hand-kept copies, and resolve them into an execution backend the same way
+// — so "-cache off" or "-server URL" means exactly the same thing whichever
+// binary it is passed to.
+package cliutil
+
+import (
+	"flag"
+
+	"rsepsim/internal/runner"
+	"rsepsim/internal/serve"
+	"rsepsim/internal/store"
+)
+
+// Flags is the shared command-line surface. A command registers the groups
+// it supports (every command takes the store group; tracegen has no remote
+// path, so it skips the server group) and resolves them with Backend after
+// flag.Parse.
+type Flags struct {
+	CacheDir  string
+	CacheMode string
+	CacheWarm bool
+	Server    string
+	JSON      bool
+	Slices    uint
+}
+
+// RegisterStore adds the -cache-dir / -cache / -cache-warm trio.
+func (f *Flags) RegisterStore(fs *flag.FlagSet) {
+	defaultDir, _ := store.DefaultDir()
+	fs.StringVar(&f.CacheDir, "cache-dir", defaultDir, "persistent result store directory")
+	fs.StringVar(&f.CacheMode, "cache", "rw", "result store mode: off (in-memory only), ro, rw")
+	fs.BoolVar(&f.CacheWarm, "cache-warm", false, "preload the memory tier from disk before running")
+}
+
+// RegisterServer adds -server, the remote-daemon switch.
+func (f *Flags) RegisterServer(fs *flag.FlagSet) {
+	fs.StringVar(&f.Server, "server", "", "run on a rsepd daemon at this URL instead of in-process")
+}
+
+// RegisterJSON adds -json, the machine-readable output switch.
+func (f *Flags) RegisterJSON(fs *flag.FlagSet) {
+	fs.BoolVar(&f.JSON, "json", false, "emit machine-readable JSON instead of the text report")
+}
+
+// RegisterSlices adds -slices, the checkpoint-chained decomposition knob.
+func (f *Flags) RegisterSlices(fs *flag.FlagSet) {
+	fs.UintVar(&f.Slices, "slices", 0,
+		"decompose each job into this many checkpoint-chained slices; results are byte-identical, but a killed run resumes from finished slices (0 or 1: monolithic)")
+}
+
+// Backend is the resolved execution side of the flags: exactly one of Client
+// (remote, -server) and Store (local mount) is non-nil. Disk is the local
+// persistent tier when one is mounted.
+type Backend struct {
+	Client *serve.Client
+	Store  runner.Store
+	Disk   *store.Disk
+}
+
+// Backend resolves the parsed flags, in prog's name for warnings: a remote
+// client when -server is set (warning about ignored local store flags), a
+// locally mounted — and optionally warmed — store otherwise.
+func (f *Flags) Backend(prog string) (*Backend, error) {
+	if f.Server != "" {
+		store.WarnServerIgnored(prog)
+		client, err := serve.NewClient(f.Server)
+		if err != nil {
+			return nil, err
+		}
+		return &Backend{Client: client}, nil
+	}
+	st, disk, err := store.MountFlags(prog, f.CacheDir, f.CacheMode)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.WarmFlags(prog, st, f.CacheWarm); err != nil {
+		return nil, err
+	}
+	return &Backend{Store: st, Disk: disk}, nil
+}
+
+// Runner returns the BatchRunner to submit through: the remote client, or an
+// in-process pool of the given parallelism over the mounted store.
+func (b *Backend) Runner(parallelism int) runner.BatchRunner {
+	if b.Client != nil {
+		return b.Client
+	}
+	return runner.New(runner.Options{Parallelism: parallelism, Store: b.Store})
+}
+
+// Counters reports hit/miss/stale from whichever side is active.
+func (b *Backend) Counters() runner.Counters {
+	if b.Client != nil {
+		return b.Client.Counters()
+	}
+	return b.Store.Counters()
+}
+
+// WarnWrites runs the end-of-run store write check (no-op remotely).
+func (b *Backend) WarnWrites(prog string) {
+	store.WarnWrites(prog, b.Disk)
+}

@@ -1,0 +1,28 @@
+package dram
+
+import "rsepsim/internal/ckpt"
+
+// TotalReadLatency returns the summed demand-read latency in cycles — the
+// numerator of AvgReadLatency. Exposed so per-slice statistics can merge
+// average latencies exactly (integer sums add; averages do not).
+func (m *Memory) TotalReadLatency() uint64 { return m.totalLatency }
+
+// Save serializes the bank state and statistics.
+func (m *Memory) Save(w *ckpt.Writer) {
+	w.Mark("dram")
+	ckpt.Slice(w, m.banks)
+	w.U64(m.Reads)
+	w.U64(m.RowHits)
+	w.U64(m.RowConflicts)
+	w.U64(m.totalLatency)
+}
+
+// Load restores state saved by Save into a memory of identical geometry.
+func (m *Memory) Load(r *ckpt.Reader) {
+	r.Expect("dram")
+	ckpt.ReadSliceFixed(r, m.banks)
+	m.Reads = r.U64()
+	m.RowHits = r.U64()
+	m.RowConflicts = r.U64()
+	m.totalLatency = r.U64()
+}

@@ -27,7 +27,7 @@ import (
 
 // Options controls the simulation protocol: the paper uses 10 checkpoints of
 // 50M warmup + 100M measured instructions per benchmark; the reproduction
-// defaults to laptop-scale equivalents (see DESIGN.md §7).
+// defaults to laptop-scale equivalents (see DESIGN.md §8).
 type Options struct {
 	Benchmarks []string // nil = the full 29-benchmark suite
 	Segments   int      // "checkpoints" per benchmark
@@ -38,6 +38,11 @@ type Options struct {
 	// pool (default: NumCPU); with a remote Runner it rides along as the
 	// per-batch bound, where 0 means "let the daemon decide".
 	Parallelism int
+	// Slices > 1 decomposes every job into that many checkpoint-chained
+	// sub-runs (see runner.Job.Slices); results are byte-identical either
+	// way, but a killed sweep resumes from finished slices instead of
+	// finished jobs.
+	Slices uint32
 
 	// Store, when non-nil, is consulted for every job and filled with every
 	// simulated result. Share one across figure runners to skip
@@ -132,6 +137,7 @@ func SweepContext(ctx context.Context, cfgs []*config.Config, opt Options) ([][]
 					Seed:    opt.BaseSeed + int64(s),
 					Warmup:  opt.Warmup,
 					Measure: opt.Measure,
+					Slices:  opt.Slices,
 				})
 			}
 		}

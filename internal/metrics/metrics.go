@@ -55,14 +55,22 @@ type Stats struct {
 	L1DAccesses, L1DMisses uint64
 	L2Misses, L3Misses     uint64
 	DRAMReads              uint64
-	AvgDRAMLatency         float64
+	// DRAMLatencySum is the integer numerator of AvgDRAMLatency (summed
+	// demand-read latency in cycles). Integer sums merge exactly where
+	// float averages do not, so Merge rebuilds AvgDRAMLatency from it —
+	// bit-identical to what a single longer run computes.
+	DRAMLatencySum uint64
+	AvgDRAMLatency float64
 }
 
-// Merge accumulates src into s. Counters add; AvgDRAMLatency becomes the
-// read-weighted average of the two, so merging per-segment snapshots yields
-// the same aggregate a single longer run would report.
+// Merge accumulates src into s. Counters add; AvgDRAMLatency is recomputed
+// from the merged DRAMLatencySum with the same single division a monolithic
+// run performs, so merging per-segment snapshots yields a byte-identical
+// aggregate. Envelopes written before DRAMLatencySum existed (sum zero with
+// nonzero reads) fall back to the read-weighted average of the two inputs.
 func (s *Stats) Merge(src *Stats) {
 	oldReads := s.DRAMReads
+	oldSum := s.DRAMLatencySum
 
 	s.Cycles += src.Cycles
 	s.Committed += src.Committed
@@ -97,10 +105,67 @@ func (s *Stats) Merge(src *Stats) {
 	s.L2Misses += src.L2Misses
 	s.L3Misses += src.L3Misses
 	s.DRAMReads += src.DRAMReads
+	s.DRAMLatencySum += src.DRAMLatencySum
 	if s.DRAMReads > 0 {
-		s.AvgDRAMLatency = (s.AvgDRAMLatency*float64(oldReads) +
-			src.AvgDRAMLatency*float64(src.DRAMReads)) / float64(s.DRAMReads)
+		legacy := (oldReads > 0 && oldSum == 0) ||
+			(src.DRAMReads > 0 && src.DRAMLatencySum == 0)
+		if legacy {
+			s.AvgDRAMLatency = (s.AvgDRAMLatency*float64(oldReads) +
+				src.AvgDRAMLatency*float64(src.DRAMReads)) / float64(s.DRAMReads)
+		} else {
+			s.AvgDRAMLatency = float64(s.DRAMLatencySum) / float64(s.DRAMReads)
+		}
 	}
+}
+
+// Sub returns the field-wise difference s - o: the delta a run accumulated
+// between two cumulative snapshots. It is the inverse of Merge — a sliced run
+// snapshots its counters at each checkpoint boundary, Subs consecutive
+// snapshots into per-slice envelopes, and Merging the envelopes telescopes
+// back to exactly the cumulative totals. AvgDRAMLatency is recomputed from
+// the delta's own sum and reads.
+func (s *Stats) Sub(o *Stats) Stats {
+	d := *s
+	d.Cycles -= o.Cycles
+	d.Committed -= o.Committed
+	d.CommittedLoads -= o.CommittedLoads
+	d.CommittedStores -= o.CommittedStores
+	d.CommittedBranches -= o.CommittedBranches
+	d.Eligible -= o.Eligible
+	d.ZeroIdiomElim -= o.ZeroIdiomElim
+	d.MoveElim -= o.MoveElim
+	d.ZeroPred -= o.ZeroPred
+	d.ZeroPredLoad -= o.ZeroPredLoad
+	d.DistPred -= o.DistPred
+	d.DistPredLoad -= o.DistPredLoad
+	d.ValuePred -= o.ValuePred
+	d.ValuePredLoad -= o.ValuePredLoad
+	d.DistMispredicts -= o.DistMispredicts
+	d.ZeroMispredicts -= o.ZeroMispredicts
+	d.ValueMispredicts -= o.ValueMispredicts
+	d.BranchMispredicts -= o.BranchMispredicts
+	d.MemOrderSquashes -= o.MemOrderSquashes
+	d.Squashes -= o.Squashes
+	d.ValidationUops -= o.ValidationUops
+	d.OracleZeroLoad -= o.OracleZeroLoad
+	d.OracleZeroOther -= o.OracleZeroOther
+	d.OraclePRFLoad -= o.OraclePRFLoad
+	d.OraclePRFOther -= o.OraclePRFOther
+	for i := range d.CommitEligibleHist {
+		d.CommitEligibleHist[i] -= o.CommitEligibleHist[i]
+	}
+	d.L1DAccesses -= o.L1DAccesses
+	d.L1DMisses -= o.L1DMisses
+	d.L2Misses -= o.L2Misses
+	d.L3Misses -= o.L3Misses
+	d.DRAMReads -= o.DRAMReads
+	d.DRAMLatencySum -= o.DRAMLatencySum
+	if d.DRAMReads > 0 {
+		d.AvgDRAMLatency = float64(d.DRAMLatencySum) / float64(d.DRAMReads)
+	} else {
+		d.AvgDRAMLatency = 0
+	}
+	return d
 }
 
 // Snapshot returns an independent copy of s. Stats holds no reference types,

@@ -73,6 +73,7 @@ type Core struct {
 	stats  metrics.Stats
 	cycle  uint64
 	rng    *rand.Rand
+	rngSrc *countingSource // rng's source, position-counted for checkpoints
 
 	// Front end.
 	bp           *branch.Predictor
@@ -160,11 +161,13 @@ type Core struct {
 
 // New builds a core over the given instruction source.
 func New(cfg *config.Config, src trace.Source) *Core {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rngSrc := newCountingSource(cfg.Seed)
+	rng := rand.New(rngSrc)
 	c := &Core{
 		cfg:          cfg,
 		src:          trace.NewReplay(src),
 		rng:          rng,
+		rngSrc:       rngSrc,
 		bp:           branch.New(rng),
 		rat:          regfile.NewRAT(uarch.NumArchRegs),
 		prf:          regfile.NewFile(cfg.IntPRegs, cfg.FPPRegs),
@@ -351,6 +354,7 @@ func (c *Core) finishStats() {
 	c.stats.L2Misses = c.l2.Misses
 	c.stats.L3Misses = c.l3.Misses
 	c.stats.DRAMReads = c.mem.Reads
+	c.stats.DRAMLatencySum = c.mem.TotalReadLatency()
 	c.stats.AvgDRAMLatency = c.mem.AvgReadLatency()
 	c.stats.BranchMispredicts = c.bp.CondMispredicts
 }

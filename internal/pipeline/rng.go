@@ -1,0 +1,42 @@
+package pipeline
+
+import "math/rand"
+
+// countingSource wraps math/rand's default source and counts how many times it
+// has advanced, making the generator position checkpointable: the runtime
+// source steps its internal state exactly once per Int63 or Uint64 call, so
+// reseeding and replaying `steps` draws reproduces the position bit-exactly.
+// The core only ever consumes the RNG through predictor tie-breaks
+// (rng.Intn(2)), so the replay cost at restore is microscopic.
+type countingSource struct {
+	src   rand.Source64
+	steps uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (s *countingSource) Int63() int64 {
+	s.steps++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.steps++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.steps = 0
+}
+
+// restore reseeds and replays the source forward to step position n.
+func (s *countingSource) restore(seed int64, n uint64) {
+	s.Seed(seed)
+	for i := uint64(0); i < n; i++ {
+		s.src.Int63()
+	}
+	s.steps = n
+}

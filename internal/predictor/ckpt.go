@@ -1,0 +1,58 @@
+package predictor
+
+import "rsepsim/internal/ckpt"
+
+// Save serializes the full history state. The folded registers carry their
+// geometry (fold widths) inline; Load overwrites them with identical values
+// when the geometries match and fails on a length mismatch.
+func (g *GlobalHistory) Save(w *ckpt.Writer) {
+	w.Mark("ghist")
+	ckpt.Slice(w, g.bits)
+	w.Int(g.pos)
+	w.U64(g.path)
+	ckpt.Slice(w, g.folds)
+}
+
+// Load restores state saved by Save into a history of identical geometry.
+func (g *GlobalHistory) Load(r *ckpt.Reader) {
+	r.Expect("ghist")
+	ckpt.ReadSliceFixed(r, g.bits)
+	g.pos = r.Int()
+	g.path = r.U64()
+	ckpt.ReadSliceFixed(r, g.folds)
+}
+
+// Save serializes every table and the aging clock. The allocation RNG is
+// shared and serialized by its owner.
+func (t *TAGE[P]) Save(w *ckpt.Writer) {
+	w.Mark("tage")
+	ckpt.Slice(w, t.base)
+	for _, tbl := range t.tables {
+		ckpt.Slice(w, tbl)
+	}
+	w.Int(t.ticks)
+}
+
+// Load restores state saved by Save into a predictor of identical geometry.
+func (t *TAGE[P]) Load(r *ckpt.Reader) {
+	r.Expect("tage")
+	ckpt.ReadSliceFixed(r, t.base)
+	for _, tbl := range t.tables {
+		ckpt.ReadSliceFixed(r, tbl)
+	}
+	t.ticks = r.Int()
+}
+
+// Save serializes both tables.
+func (g *GShare[P]) Save(w *ckpt.Writer) {
+	w.Mark("gshare")
+	ckpt.Slice(w, g.pcTab)
+	ckpt.Slice(w, g.ghTab)
+}
+
+// Load restores state saved by Save into a predictor of identical geometry.
+func (g *GShare[P]) Load(r *ckpt.Reader) {
+	r.Expect("gshare")
+	ckpt.ReadSliceFixed(r, g.pcTab)
+	ckpt.ReadSliceFixed(r, g.ghTab)
+}

@@ -1,0 +1,61 @@
+package regfile
+
+import "rsepsim/internal/ckpt"
+
+// Save serializes the register values, ready cycles, allocation map, waiter
+// lists and both free lists (whose order determines future allocations and so
+// must be preserved exactly).
+func (f *File) Save(w *ckpt.Writer) {
+	w.Mark("prf")
+	ckpt.Slice(w, f.vals)
+	ckpt.Slice(w, f.readyAt)
+	ckpt.Slice(w, f.alloc)
+	for i := range f.waiters {
+		ckpt.Slice(w, f.waiters[i])
+	}
+	ckpt.Slice(w, f.intFree)
+	ckpt.Slice(w, f.fpFree)
+}
+
+// Load restores state saved by Save into a file of identical geometry.
+func (f *File) Load(r *ckpt.Reader) {
+	r.Expect("prf")
+	ckpt.ReadSliceFixed(r, f.vals)
+	ckpt.ReadSliceFixed(r, f.readyAt)
+	ckpt.ReadSliceFixed(r, f.alloc)
+	for i := range f.waiters {
+		f.waiters[i] = ckpt.ReadSlice(r, f.waiters[i])
+	}
+	f.intFree = ckpt.ReadSlice(r, f.intFree)
+	f.fpFree = ckpt.ReadSlice(r, f.fpFree)
+}
+
+// Save serializes the architectural-to-physical mappings.
+func (r *RAT) Save(w *ckpt.Writer) {
+	w.Mark("rat")
+	ckpt.Slice(w, r.m)
+}
+
+// Load restores state saved by Save into a RAT of identical size.
+func (r *RAT) Load(cr *ckpt.Reader) {
+	cr.Expect("rat")
+	ckpt.ReadSliceFixed(cr, r.m)
+}
+
+// Save serializes the live entries and statistics.
+func (b *ISRB) Save(w *ckpt.Writer) {
+	w.Mark("isrb")
+	ckpt.Slice(w, b.entries)
+	w.U64(b.ShareOK)
+	w.U64(b.ShareFullRejects)
+	w.U64(b.Frees)
+}
+
+// Load restores state saved by Save.
+func (b *ISRB) Load(r *ckpt.Reader) {
+	r.Expect("isrb")
+	b.entries = ckpt.ReadSlice(r, b.entries)
+	b.ShareOK = r.U64()
+	b.ShareFullRejects = r.U64()
+	b.Frees = r.U64()
+}

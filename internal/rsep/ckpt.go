@@ -1,0 +1,95 @@
+package rsep
+
+import "rsepsim/internal/ckpt"
+
+// Save serializes the underlying TAGE engine.
+func (d *TAGEDist) Save(w *ckpt.Writer) {
+	w.Mark("distpred:tage")
+	d.tage.Save(w)
+}
+
+// Load restores state saved by Save.
+func (d *TAGEDist) Load(r *ckpt.Reader) {
+	r.Expect("distpred:tage")
+	d.tage.Load(r)
+}
+
+// Save serializes the underlying gshare tables.
+func (d *GShareDist) Save(w *ckpt.Writer) {
+	w.Mark("distpred:gshare")
+	d.g.Save(w)
+}
+
+// Load restores state saved by Save.
+func (d *GShareDist) Load(r *ckpt.Reader) {
+	r.Expect("distpred:gshare")
+	d.g.Load(r)
+}
+
+// Save serializes the ring, bucket heads, CSN window and statistics.
+func (h *FIFOHistory) Save(w *ckpt.Writer) {
+	w.Mark("pairer:fifo")
+	ckpt.Slice(w, h.ring)
+	ckpt.Slice(w, h.heads)
+	w.U64(h.minCSN)
+	w.U64(h.nextCSN)
+	w.U64(h.Finds)
+	w.U64(h.Matches)
+	w.U64(h.PredictedMatches)
+}
+
+// Load restores state saved by Save into a history of identical geometry.
+func (h *FIFOHistory) Load(r *ckpt.Reader) {
+	r.Expect("pairer:fifo")
+	ckpt.ReadSliceFixed(r, h.ring)
+	ckpt.ReadSliceFixed(r, h.heads)
+	h.minCSN = r.U64()
+	h.nextCSN = r.U64()
+	h.Finds = r.U64()
+	h.Matches = r.U64()
+	h.PredictedMatches = r.U64()
+}
+
+// Save serializes the table and statistics.
+func (d *DDT) Save(w *ckpt.Writer) {
+	w.Mark("pairer:ddt")
+	ckpt.Slice(w, d.entries)
+	w.U64(d.Finds)
+	w.U64(d.Matches)
+}
+
+// Load restores state saved by Save into a table of identical geometry.
+func (d *DDT) Load(r *ckpt.Reader) {
+	r.Expect("pairer:ddt")
+	ckpt.ReadSliceFixed(r, d.entries)
+	d.Finds = r.U64()
+	d.Matches = r.U64()
+}
+
+// Save serializes the confidence table and statistics.
+func (z *ZeroPredictor) Save(w *ckpt.Writer) {
+	w.Mark("zeropred")
+	ckpt.Slice(w, z.entries)
+	w.U64(z.Lookups)
+	w.U64(z.Predicted)
+}
+
+// Load restores state saved by Save into a predictor of identical geometry.
+func (z *ZeroPredictor) Load(r *ckpt.Reader) {
+	r.Expect("zeropred")
+	ckpt.ReadSliceFixed(r, z.entries)
+	z.Lookups = r.U64()
+	z.Predicted = r.U64()
+}
+
+// Save serializes the stored hashes.
+func (h *HRF) Save(w *ckpt.Writer) {
+	w.Mark("hrf")
+	ckpt.Slice(w, h.hashes)
+}
+
+// Load restores state saved by Save into an HRF of identical geometry.
+func (h *HRF) Load(r *ckpt.Reader) {
+	r.Expect("hrf")
+	ckpt.ReadSliceFixed(r, h.hashes)
+}

@@ -3,6 +3,7 @@ package rsep
 import (
 	"math/rand"
 
+	"rsepsim/internal/ckpt"
 	"rsepsim/internal/predictor"
 )
 
@@ -42,6 +43,11 @@ type DistPredictor interface {
 	HistoryLengths() []int
 	// Reset clears all learned state in place, as if freshly constructed.
 	Reset()
+	// Save serializes all learned state for checkpointing.
+	Save(w *ckpt.Writer)
+	// Load restores state saved by Save into a predictor of identical
+	// geometry.
+	Load(r *ckpt.Reader)
 }
 
 // TAGEDistConfig sizes the TAGE-based distance predictor.

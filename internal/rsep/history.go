@@ -1,6 +1,9 @@
 package rsep
 
-import "rsepsim/internal/predictor"
+import (
+	"rsepsim/internal/ckpt"
+	"rsepsim/internal/predictor"
+)
 
 // Pairer is the commit-side structure that, given the hash of a committing
 // instruction's result, finds an older instruction that produced the same
@@ -21,6 +24,11 @@ type Pairer interface {
 	StorageBits() int
 	// Reset clears all recorded history in place, as if freshly constructed.
 	Reset()
+	// Save serializes all recorded history for checkpointing.
+	Save(w *ckpt.Writer)
+	// Load restores state saved by Save into a structure of identical
+	// geometry.
+	Load(r *ckpt.Reader)
 }
 
 // FIFOHistory keeps the hashes of the n most recently retired

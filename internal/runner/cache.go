@@ -16,15 +16,24 @@ import (
 type Cache struct {
 	mu      sync.Mutex
 	entries map[Key]metrics.Stats
+	slices  map[SliceKey]metrics.Stats
+	ckpts   map[CheckpointKey][]byte
 	hits    uint64
 	misses  uint64
 }
 
-var _ Store = (*Cache)(nil)
+var (
+	_ Store      = (*Cache)(nil)
+	_ SliceStore = (*Cache)(nil)
+)
 
 // NewCache returns an empty cache.
 func NewCache() *Cache {
-	return &Cache{entries: make(map[Key]metrics.Stats)}
+	return &Cache{
+		entries: make(map[Key]metrics.Stats),
+		slices:  make(map[SliceKey]metrics.Stats),
+		ckpts:   make(map[CheckpointKey][]byte),
+	}
 }
 
 // Get returns a copy of the cached stats for k, recording a hit or miss.
@@ -46,6 +55,44 @@ func (c *Cache) Put(k Key, st *metrics.Stats, _ time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries[k] = st.Snapshot()
+}
+
+// GetSlice returns a copy of the cached per-slice delta for k. Slice lookups
+// do not move the whole-result hit/miss counters — they are an execution
+// detail, not a result-plane outcome.
+func (c *Cache) GetSlice(k SliceKey) (*metrics.Stats, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.slices[k]
+	if !ok {
+		return nil, false
+	}
+	return &st, true
+}
+
+// PutSlice stores a snapshot of the per-slice delta under k.
+func (c *Cache) PutSlice(k SliceKey, st *metrics.Stats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slices[k] = st.Snapshot()
+}
+
+// GetCheckpoint returns the checkpoint blob stored under k. The stored slice
+// is handed out directly: the checkpoint reader never mutates its input, and
+// the writer that stored it relinquished ownership (see PutCheckpoint).
+func (c *Cache) GetCheckpoint(k CheckpointKey) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	blob, ok := c.ckpts[k]
+	return blob, ok
+}
+
+// PutCheckpoint stores a copy of blob under k, so the caller's buffer can be
+// reused.
+func (c *Cache) PutCheckpoint(k CheckpointKey, blob []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ckpts[k] = append([]byte(nil), blob...)
 }
 
 // Len returns the number of cached results.

@@ -30,13 +30,24 @@ type Job struct {
 	Seed    int64
 	Warmup  uint64
 	Measure uint64
+	// Slices > 1 asks the scheduler to decompose the measurement into that
+	// many checkpoint-chained sub-runs: slice k resumes from slice k-1's
+	// checkpoint, per-slice results and checkpoints land in the store, and
+	// the merged result is byte-identical to a monolithic run (so a killed
+	// run resumes from its finished slices, and a finished run extends to a
+	// longer Measure from its final checkpoint). 0 and 1 both mean
+	// monolithic. Slicing is an execution strategy, not part of the
+	// outcome's identity — see Key.
+	Slices uint32
 }
 
 // Key identifies a Job's simulation outcome: two jobs with equal keys are
 // guaranteed to produce identical Stats. The configuration is folded into a
 // canonical hash with its Seed normalized to zero — the effective seed is
 // the key's own Seed field, which the simulation applies to both the config
-// and the workload generator.
+// and the workload generator. Slices is deliberately absent: a sliced run
+// merges to the same bytes a monolithic run produces, so cached monoliths
+// answer sliced submissions and vice versa.
 type Key struct {
 	Bench      string
 	ConfigHash string

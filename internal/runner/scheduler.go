@@ -26,6 +26,10 @@ type Batch struct {
 	// Calls are serialized per batch; the callback must not submit to the
 	// same scheduler.
 	OnProgress func(Progress)
+	// OnSlice, when non-nil, observes every slice resolution of this batch's
+	// sliced jobs (jobs with Slices > 1 running against the in-process
+	// executor). Same serialization contract as OnProgress.
+	OnSlice func(SliceProgress)
 }
 
 // BatchRunner runs a batch and returns one Result per job, in submission
@@ -59,6 +63,11 @@ type Scheduler struct {
 	par     int
 	exec    Executor
 	results *Results
+	// slicedOK records whether the executor is the in-process pipeline:
+	// sliced decomposition drives pipeline.Core checkpoints directly, so a
+	// custom Executor (a test stub, a remote hop) falls back to monolithic
+	// execution.
+	slicedOK bool
 
 	mu       sync.Mutex
 	queue    schedQueue
@@ -68,9 +77,11 @@ type Scheduler struct {
 	waiting  int
 	seq      uint64
 
-	batches uint64
-	jobs    uint64
-	sims    uint64
+	batches       uint64
+	jobs          uint64
+	sims          uint64
+	slicesRun     uint64
+	slicesResumed uint64
 }
 
 // NewScheduler returns an idle scheduler.
@@ -87,6 +98,7 @@ func NewScheduler(opt SchedulerOptions) *Scheduler {
 		par:      par,
 		exec:     exec,
 		results:  NewResults(opt.Store),
+		slicedOK: opt.Executor == nil,
 		inflight: make(map[Key]*flight),
 	}
 }
@@ -109,6 +121,11 @@ type Status struct {
 	// Simulations counts executor runs — work the result plane did not
 	// absorb.
 	Simulations uint64
+	// SlicesRun counts slices that actually simulated; SlicesResumed counts
+	// slices answered from stored per-slice envelopes (work a restart or an
+	// aligned earlier run already paid for).
+	SlicesRun     uint64
+	SlicesResumed uint64
 }
 
 // Status reports scheduler-level counters and gauges.
@@ -116,12 +133,14 @@ func (s *Scheduler) Status() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Status{
-		QueueDepth:  s.queue.Len(),
-		Running:     s.running,
-		Waiting:     s.waiting,
-		Batches:     s.batches,
-		Jobs:        s.jobs,
-		Simulations: s.sims,
+		QueueDepth:    s.queue.Len(),
+		Running:       s.running,
+		Waiting:       s.waiting,
+		Batches:       s.batches,
+		Jobs:          s.jobs,
+		Simulations:   s.sims,
+		SlicesRun:     s.slicesRun,
+		SlicesResumed: s.slicesResumed,
 	}
 }
 
@@ -203,6 +222,7 @@ type batchRun struct {
 	jobs     []Job
 	results  []Result
 	onProg   func(Progress)
+	onSlice  func(SliceProgress)
 	priority int
 	limit    int
 	groups   []*group
@@ -244,6 +264,7 @@ func (s *Scheduler) RunBatch(ctx context.Context, b Batch) ([]Result, error) {
 		jobs:     b.Jobs,
 		results:  results,
 		onProg:   b.OnProgress,
+		onSlice:  b.OnSlice,
 		priority: b.Priority,
 		limit:    b.Parallelism,
 		finished: make(chan struct{}),
@@ -390,7 +411,14 @@ func (s *Scheduler) worker() {
 			continue
 		}
 		start := time.Now()
-		st, err := s.runExec(br.ctx, br.jobs[g.indices[0]])
+		j := br.jobs[g.indices[0]]
+		var st *metrics.Stats
+		var err error
+		if s.slicedOK && j.Slices > 1 {
+			st, err = s.runSlicedSafe(br, j, g.indices[0])
+		} else {
+			st, err = s.runExec(br.ctx, j)
+		}
 		if err == nil {
 			s.results.Commit(g.key, st, time.Since(start))
 		}
@@ -413,6 +441,25 @@ func (s *Scheduler) runExec(ctx context.Context, j Job) (st *metrics.Stats, err 
 		}
 	}()
 	return s.exec(ctx, j)
+}
+
+// runSlicedSafe runs a sliced job with the same panic backstop as runExec and
+// forwards slice resolutions to the batch's OnSlice observer.
+func (s *Scheduler) runSlicedSafe(br *batchRun, j Job, index int) (st *metrics.Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			st, err = nil, fmt.Errorf("runner: sliced executor panicked on %s: %v", j.Bench, r)
+		}
+	}()
+	var notify func(slice int, resumed bool)
+	if br.onSlice != nil {
+		notify = func(slice int, resumed bool) {
+			br.mu.Lock()
+			br.onSlice(SliceProgress{Index: index, Slice: slice, Slices: int(j.Slices), Resumed: resumed})
+			br.mu.Unlock()
+		}
+	}
+	return s.runSliced(br.ctx, j, notify)
 }
 
 // completeFlight retires a flight: the owner group and every waiter receive

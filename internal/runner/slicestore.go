@@ -1,0 +1,47 @@
+package runner
+
+import "rsepsim/internal/metrics"
+
+// SliceKey identifies one slice of a sliced run: the per-slice Stats delta
+// accumulated over the measured-instruction span [Start, End), after Warmup
+// instructions of warmup. Start and End are the nominal slice boundaries
+// (k*chunk), not the actual commit counts — actuals may overshoot a boundary
+// by up to a commit group, but the chain is deterministic, so nominal
+// boundaries name the deltas uniquely. Two sliced submissions whose grids
+// align (the 50M prefix of a 100M run, say) share slice keys and checkpoint
+// keys, which is what makes extension and resumption pure store lookups.
+type SliceKey struct {
+	Bench      string
+	ConfigHash string
+	Seed       int64
+	Warmup     uint64
+	Start      uint64
+	End        uint64
+}
+
+// CheckpointKey identifies the serialized core state at a nominal
+// measured-instruction boundary (the state from which the slice starting at
+// At resumes).
+type CheckpointKey struct {
+	Bench      string
+	ConfigHash string
+	Seed       int64
+	Warmup     uint64
+	At         uint64
+}
+
+// SliceStore is the optional store extension behind sliced execution: slice
+// Stats deltas and checkpoint blobs live beside whole-job result envelopes.
+// The scheduler type-asserts its Store to this interface — a store without it
+// still runs sliced jobs correctly, it just cannot resume or extend them.
+//
+// Like Store, implementations must be concurrency-safe, must hand out
+// snapshots/copies, treat damaged entries as misses (counted stale), and keep
+// Put best-effort. Checkpoint blobs are opaque to the store; integrity is the
+// store's job (a corrupt blob must become a miss, not a bad restore).
+type SliceStore interface {
+	GetSlice(k SliceKey) (*metrics.Stats, bool)
+	PutSlice(k SliceKey, st *metrics.Stats)
+	GetCheckpoint(k CheckpointKey) ([]byte, bool)
+	PutCheckpoint(k CheckpointKey, blob []byte)
+}

@@ -22,6 +22,9 @@ type JobSpec struct {
 	Seed    int64          `json:"seed"`
 	Warmup  uint64         `json:"warmup"`
 	Measure uint64         `json:"measure"`
+	// Slices > 1 decomposes the measurement into checkpoint-chained
+	// sub-runs (see Job.Slices); 0 and 1 both mean monolithic.
+	Slices uint32 `json:"slices,omitempty"`
 }
 
 // BatchSpec is the wire form of one batch submission: the unit of admission
@@ -39,6 +42,10 @@ type BatchSpec struct {
 // MaxBatchJobs bounds one batch submission; a sweep larger than this should
 // be split, so a single malformed request cannot queue unbounded work.
 const MaxBatchJobs = 1 << 16
+
+// MaxJobSlices bounds the slice count of one job: beyond this the per-slice
+// checkpoint traffic dominates the simulation it is meant to amortize.
+const MaxJobSlices = 4096
 
 // presets maps wire-level configuration names to constructors. Presets keep
 // hand-written submissions (curl, smoke tests) free of the full Table I
@@ -91,6 +98,12 @@ func (s JobSpec) Validate() error {
 	if s.Measure == 0 {
 		return fmt.Errorf("spec: job %q measures zero instructions", s.Bench)
 	}
+	if s.Slices > MaxJobSlices {
+		return fmt.Errorf("spec: job %q wants %d slices, limit %d", s.Bench, s.Slices, MaxJobSlices)
+	}
+	if s.Slices > 1 && s.Measure < uint64(s.Slices) {
+		return fmt.Errorf("spec: job %q measures %d instructions across %d slices (need at least one per slice)", s.Bench, s.Measure, s.Slices)
+	}
 	return nil
 }
 
@@ -107,7 +120,7 @@ func (s JobSpec) Job() (Job, error) {
 	} else {
 		cfg = cfg.Clone()
 	}
-	return Job{Bench: s.Bench, Config: cfg, Seed: s.Seed, Warmup: s.Warmup, Measure: s.Measure}, nil
+	return Job{Bench: s.Bench, Config: cfg, Seed: s.Seed, Warmup: s.Warmup, Measure: s.Measure, Slices: s.Slices}, nil
 }
 
 // Spec returns the job's wire form with an independent copy of the config.
@@ -118,6 +131,7 @@ func (j Job) Spec() JobSpec {
 		Seed:    j.Seed,
 		Warmup:  j.Warmup,
 		Measure: j.Measure,
+		Slices:  j.Slices,
 	}
 }
 

@@ -86,6 +86,51 @@ func TestSpecPresetsMatchInlineConfigs(t *testing.T) {
 	}
 }
 
+// TestSpecSlicesRoundTrip: Slices survives Job → Spec → JSON → Spec → Job,
+// serializes under the documented wire name, and stays out of the cache key
+// (slicing is an execution strategy, not a different simulation).
+func TestSpecSlicesRoundTrip(t *testing.T) {
+	j := Job{
+		Bench:   "mcf",
+		Config:  config.TableI(),
+		Seed:    4,
+		Warmup:  100,
+		Measure: 1000,
+		Slices:  8,
+	}
+	raw, err := json.Marshal(j.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"slices":8`)) {
+		t.Fatalf("wire form does not carry slices: %s", raw)
+	}
+	var back JobSpec
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := back.Job()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Slices != 8 {
+		t.Fatalf("Slices = %d after round trip, want 8", j2.Slices)
+	}
+	mono := j
+	mono.Slices = 0
+	if j.Key() != mono.Key() {
+		t.Fatal("Slices leaked into the cache key; sliced and monolithic runs would not share results")
+	}
+	// omitempty: a monolithic job's wire form should not mention slices.
+	monoRaw, err := json.Marshal(mono.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(monoRaw, []byte("slices")) {
+		t.Fatalf("monolithic wire form mentions slices: %s", monoRaw)
+	}
+}
+
 // TestSpecValidation rejects everything the daemon must not admit.
 func TestSpecValidation(t *testing.T) {
 	good := JobSpec{Bench: "mcf", Preset: "table1", Seed: 1, Warmup: 10, Measure: 20}
@@ -102,6 +147,8 @@ func TestSpecValidation(t *testing.T) {
 		{"both configs", JobSpec{Bench: "mcf", Preset: "table1", Config: config.TableI(), Measure: 1}, "both config and preset"},
 		{"unknown preset", JobSpec{Bench: "mcf", Preset: "table9", Measure: 1}, "unknown preset"},
 		{"zero measure", JobSpec{Bench: "mcf", Preset: "table1"}, "zero instructions"},
+		{"too many slices", JobSpec{Bench: "mcf", Preset: "table1", Measure: 1 << 20, Slices: MaxJobSlices + 1}, "limit"},
+		{"more slices than instructions", JobSpec{Bench: "mcf", Preset: "table1", Measure: 3, Slices: 4}, "at least one per slice"},
 	}
 	for _, tc := range bad {
 		err := tc.spec.Validate()

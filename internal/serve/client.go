@@ -88,9 +88,7 @@ func (c *Client) RunBatch(ctx context.Context, b runner.Batch) ([]runner.Result,
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		msg, _ := bufio.NewReader(resp.Body).ReadString('\n')
-		return results, fmt.Errorf("serve: server rejected batch: %s: %s",
-			resp.Status, strings.TrimSpace(msg))
+		return results, decodeError(resp)
 	}
 
 	sc := bufio.NewScanner(resp.Body)
@@ -125,6 +123,15 @@ func (c *Client) RunBatch(ctx context.Context, b runner.Batch) ([]runner.Result,
 					Job:      b.Jobs[ev.Index],
 					Stats:    results[ev.Index].Stats,
 					Err:      results[ev.Index].Err,
+				})
+			}
+		case "slice":
+			if b.OnSlice != nil && ev.Index >= 0 && ev.Index < len(results) {
+				b.OnSlice(runner.SliceProgress{
+					Index:   ev.Index,
+					Slice:   ev.Slice,
+					Slices:  ev.Slices,
+					Resumed: ev.Resumed,
 				})
 			}
 		case "done":
@@ -251,7 +258,7 @@ func (c *Client) Result(ctx context.Context, k runner.Key) (*metrics.Stats, erro
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("serve: result fetch: %s", resp.Status)
+		return nil, decodeError(resp)
 	}
 	var env struct {
 		Stats *metrics.Stats `json:"stats"`
@@ -263,6 +270,31 @@ func (c *Client) Result(ctx context.Context, k runner.Key) (*metrics.Stats, erro
 		return nil, errors.New("serve: envelope carries no stats")
 	}
 	return env.Stats, nil
+}
+
+// Status fetches the daemon's scheduler gauges and store counters
+// (GET /v1/status).
+func (c *Client) Status(ctx context.Context) (*StatusResponse, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint("/v1/status"), nil)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var st StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("serve: undecodable status: %w", err)
+	}
+	return &st, nil
 }
 
 // Healthz probes the daemon once.

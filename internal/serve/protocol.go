@@ -33,9 +33,9 @@ import (
 // one (rather than a final array) is what makes client-side cancellation
 // lossless: everything received before the cut is a finished job.
 type event struct {
-	Event string `json:"event"` // "result" or "done"
+	Event string `json:"event"` // "result", "slice" or "done"
 
-	// "result" fields.
+	// "result" fields ("slice" shares Index).
 	Index    int            `json:"index,omitempty"`
 	Done     int            `json:"done,omitempty"`
 	Total    int            `json:"total,omitempty"`
@@ -43,10 +43,34 @@ type event struct {
 	Stats    *metrics.Stats `json:"stats,omitempty"`
 	JobError string         `json:"job_error,omitempty"`
 
+	// "slice" fields: one resolved slice of a sliced job (Slices > 1). A
+	// resumed slice was answered from the store; the rest simulated. Slice
+	// events precede the job's "result" event and carry no stats — per-slice
+	// deltas are an execution detail, the merged result is the product.
+	Slice   int  `json:"slice,omitempty"`
+	Slices  int  `json:"slices,omitempty"`
+	Resumed bool `json:"resumed,omitempty"`
+
 	// "done" fields.
 	Counters *runner.Counters `json:"counters,omitempty"` // store delta for this batch
 	Error    string           `json:"error,omitempty"`    // batch-level failure (non-partial)
 	Partial  *partialInfo     `json:"partial,omitempty"`
+}
+
+// StatusResponse is the body of GET /v1/status: the scheduler's gauges and
+// admission counters plus the result store's cumulative counters. Field names
+// are part of the API — dashboards and the CI resume check key on them.
+type StatusResponse struct {
+	QueueDepth    int    `json:"queue_depth"`
+	Running       int    `json:"running"`
+	Waiting       int    `json:"waiting"`
+	Batches       uint64 `json:"batches"`
+	Jobs          uint64 `json:"jobs"`
+	Simulations   uint64 `json:"simulations"`
+	SlicesRun     uint64 `json:"slices_run"`
+	SlicesResumed uint64 `json:"slices_resumed"`
+
+	Store runner.Counters `json:"store"`
 }
 
 // partialInfo is the wire form of *runner.PartialError.

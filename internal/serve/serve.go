@@ -57,6 +57,7 @@ func NewServer(opt Options) *Server {
 	s := &Server{opt: opt, mux: http.NewServeMux(), root: root, stop: stop}
 	s.mux.HandleFunc("POST /v1/batches", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -140,13 +141,17 @@ func (sw *streamWriter) send(ev event) {
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var spec runner.BatchSpec
 	body := http.MaxBytesReader(w, r.Body, maxBatchBody)
-	if err := json.NewDecoder(body).Decode(&spec); err != nil {
-		http.Error(w, fmt.Sprintf("undecodable batch: %v", err), http.StatusBadRequest)
+	dec := json.NewDecoder(body)
+	// Strict decoding: a typoed field ("slcies") must be a 400, not a field
+	// that silently never takes effect.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, CodeUndecodableSpec, fmt.Sprintf("undecodable batch: %v", err))
 		return
 	}
 	b, err := spec.Batch()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, err.Error())
 		return
 	}
 
@@ -170,6 +175,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		sw.send(ev)
 	}
+	b.OnSlice = func(p runner.SliceProgress) {
+		sw.send(event{
+			Event:   "slice",
+			Index:   p.Index,
+			Slice:   p.Slice,
+			Slices:  p.Slices,
+			Resumed: p.Resumed,
+		})
+	}
 
 	before := s.opt.Sched.Results().Counters()
 	_, runErr := s.opt.Sched.RunBatch(ctx, b)
@@ -192,7 +206,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	etag := `"` + id + `"`
 	if s.opt.Disk == nil {
-		http.Error(w, "no persistent store mounted", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, CodeNoStore, "no persistent store mounted")
 		return
 	}
 	// Existence is established before If-None-Match is consulted: per RFC
@@ -202,12 +216,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 	case os.IsNotExist(err):
-		http.Error(w, "no such result", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, CodeNotFound, "no such result")
 		return
 	default:
 		// Malformed id or a damaged entry: the caller can re-submit the job
 		// (the rewrite heals the entry); never relay bad bytes.
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		writeError(w, http.StatusUnprocessableEntity, CodeDamagedEntry, err.Error())
 		return
 	}
 	// The 304 repeats the caching metadata a 200 would carry (RFC 9110
@@ -237,6 +251,26 @@ func etagMatches(values []string, etag string) bool {
 		}
 	}
 	return false
+}
+
+// handleStatus reports the scheduler's gauges and counters as JSON — the
+// structured sibling of /metrics, for scripts and the CI resume check (which
+// asserts on slices_run/slices_resumed).
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.opt.Sched.Status()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	json.NewEncoder(w).Encode(StatusResponse{
+		QueueDepth:    st.QueueDepth,
+		Running:       st.Running,
+		Waiting:       st.Waiting,
+		Batches:       st.Batches,
+		Jobs:          st.Jobs,
+		Simulations:   st.Simulations,
+		SlicesRun:     st.SlicesRun,
+		SlicesResumed: st.SlicesResumed,
+		Store:         s.opt.Sched.Results().Counters(),
+	})
 }
 
 // handleHealthz reports liveness and the load gauges a balancer wants.
@@ -270,6 +304,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"rsepd_batches_total", "Batches admitted.", "counter", st.Batches},
 		{"rsepd_jobs_total", "Jobs admitted.", "counter", st.Jobs},
 		{"rsepd_simulations_total", "Simulations executed (jobs the store did not absorb).", "counter", st.Simulations},
+		{"rsepd_slices_run_total", "Slices of sliced jobs that simulated.", "counter", st.SlicesRun},
+		{"rsepd_slices_resumed_total", "Slices answered from stored per-slice results.", "counter", st.SlicesResumed},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.typ, m.name, m.value)
 	}

@@ -223,14 +223,19 @@ func TestResultEndpoint(t *testing.T) {
 	}
 }
 
-// TestBatchValidationRejected: a malformed batch is a 400, not a run.
+// TestBatchValidationRejected: a malformed batch is a 400 carrying the typed
+// invalid_spec error, not a run.
 func TestBatchValidationRejected(t *testing.T) {
 	cl, _, _ := newDaemon(t, nil)
 	_, err := cl.RunBatch(t.Context(), runner.Batch{Jobs: []runner.Job{
 		{Bench: "no-such-bench", Config: config.TableI(), Seed: 1, Warmup: 10, Measure: 10},
 	}})
-	if err == nil || !strings.Contains(err.Error(), "rejected") {
-		t.Fatalf("err = %v, want a rejection", err)
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v (%T), want *APIError", err, err)
+	}
+	if ae.Code != CodeInvalidSpec || ae.Status != http.StatusBadRequest {
+		t.Fatalf("got code %q status %d, want %q 400", ae.Code, ae.Status, CodeInvalidSpec)
 	}
 }
 

@@ -1,0 +1,180 @@
+package store
+
+import (
+	"os"
+	"testing"
+
+	"rsepsim/internal/metrics"
+	"rsepsim/internal/runner"
+)
+
+func testSliceKey() runner.SliceKey {
+	return runner.SliceKey{Bench: "mcf", ConfigHash: "abc123", Seed: 7,
+		Warmup: 1000, Start: 0, End: 5000}
+}
+
+func testCkptKey() runner.CheckpointKey {
+	return runner.CheckpointKey{Bench: "mcf", ConfigHash: "abc123", Seed: 7,
+		Warmup: 1000, At: 5000}
+}
+
+func TestSliceRoundTrip(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testSliceKey()
+	if _, ok := d.GetSlice(k); ok {
+		t.Fatal("empty store returned a slice")
+	}
+	st := &metrics.Stats{Cycles: 1234, Committed: 5000, DRAMReads: 3, DRAMLatencySum: 600, AvgDRAMLatency: 200}
+	d.PutSlice(k, st)
+	got, ok := d.GetSlice(k)
+	if !ok {
+		t.Fatal("stored slice missed")
+	}
+	if *got != *st {
+		t.Fatalf("slice round-trip: got %+v, want %+v", got, st)
+	}
+	// A different span is a different entry.
+	other := k
+	other.End = 9999
+	if _, ok := d.GetSlice(other); ok {
+		t.Fatal("mismatched span hit")
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("write errors recorded: %v", err)
+	}
+}
+
+func TestSliceCorruptionIsAStaleMiss(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testSliceKey()
+	d.PutSlice(k, &metrics.Stats{Cycles: 1})
+	path := d.slicePath(SliceID(k))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.GetSlice(k); ok {
+		t.Fatal("corrupt slice entry served")
+	}
+	if c := d.Counters(); c.Stale != 1 {
+		t.Fatalf("stale = %d, want 1", c.Stale)
+	}
+}
+
+func TestCheckpointRoundTripAndCorruption(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testCkptKey()
+	if _, ok := d.GetCheckpoint(k); ok {
+		t.Fatal("empty store returned a checkpoint")
+	}
+	blob := []byte("not a real checkpoint, but bytes are bytes")
+	d.PutCheckpoint(k, blob)
+	got, ok := d.GetCheckpoint(k)
+	if !ok {
+		t.Fatal("stored checkpoint missed")
+	}
+	if string(got) != string(blob) {
+		t.Fatalf("checkpoint round-trip: got %q", got)
+	}
+
+	// Flip one payload byte: the SHA prefix must demote it to a stale miss.
+	path := d.ckptPath(CheckpointID(k))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.GetCheckpoint(k); ok {
+		t.Fatal("corrupt checkpoint served")
+	}
+	// Truncation below the hash prefix is also a stale miss, not a panic.
+	if err := os.WriteFile(path, raw[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.GetCheckpoint(k); ok {
+		t.Fatal("truncated checkpoint served")
+	}
+	if c := d.Counters(); c.Stale != 2 {
+		t.Fatalf("stale = %d, want 2", c.Stale)
+	}
+}
+
+func TestTieredSliceStore(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(d, false)
+	sk, ck := testSliceKey(), testCkptKey()
+	tiered.PutSlice(sk, &metrics.Stats{Cycles: 77})
+	tiered.PutCheckpoint(ck, []byte("blob"))
+
+	// A second tier over the same directory sees both through disk and
+	// promotes them to memory.
+	d2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := NewTiered(d2, false)
+	if st, ok := t2.GetSlice(sk); !ok || st.Cycles != 77 {
+		t.Fatalf("tiered slice read: %+v %v", st, ok)
+	}
+	if blob, ok := t2.GetCheckpoint(ck); !ok || string(blob) != "blob" {
+		t.Fatalf("tiered checkpoint read: %q %v", blob, ok)
+	}
+
+	// Read-only tier: memory absorbs writes, disk stays clean.
+	roDir := t.TempDir()
+	roDisk, err := Attach(roDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := NewTiered(roDisk, true)
+	ro.PutSlice(sk, &metrics.Stats{Cycles: 1})
+	ro.PutCheckpoint(ck, []byte("x"))
+	if _, err := os.Stat(roDisk.slicePath(SliceID(sk))); !os.IsNotExist(err) {
+		t.Fatal("read-only tier wrote a slice to disk")
+	}
+	if _, err := os.Stat(roDisk.ckptPath(CheckpointID(ck))); !os.IsNotExist(err) {
+		t.Fatal("read-only tier wrote a checkpoint to disk")
+	}
+	if _, ok := ro.GetSlice(sk); !ok {
+		t.Fatal("read-only memory tier lost the slice")
+	}
+}
+
+// TestSliceSubtreesInvisibleToMaintenance: Scan/Verify over a store holding
+// slices and checkpoints see only whole-job results — the maintenance surface
+// must never confuse a slice for one.
+func TestSliceSubtreesInvisibleToMaintenance(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.PutSlice(testSliceKey(), &metrics.Stats{Cycles: 1})
+	d.PutCheckpoint(testCkptKey(), []byte("blob"))
+	n := 0
+	if err := d.Scan(func(Entry) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("Scan saw %d entries in a store holding only slices", n)
+	}
+}

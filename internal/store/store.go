@@ -261,7 +261,13 @@ func (d *Disk) write(k runner.Key, st *metrics.Stats, simTime time.Duration, cre
 
 // writeRaw atomically installs raw as the entry file for id.
 func (d *Disk) writeRaw(id string, raw []byte) error {
-	final := d.path(id)
+	return writeFileAtomic(d.path(id), raw)
+}
+
+// writeFileAtomic installs raw at final via tmp+rename, creating the parent
+// directory on demand — the shared write discipline of every subtree (result
+// envelopes, slice envelopes, checkpoint blobs).
+func writeFileAtomic(final string, raw []byte) error {
 	dir := filepath.Dir(final)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"fmt"
+
+	"rsepsim/internal/ckpt"
+)
+
+// Save serializes the replay window coordinates. The buffered instructions
+// themselves are not written: sources are pure functions of their seed, so
+// Load re-derives the window by redrawing from a fresh source. This keeps
+// checkpoints independent of the ring's grown capacity and of uarch.Inst's
+// in-memory layout.
+func (r *Replay) Save(w *ckpt.Writer) {
+	w.Mark("replay")
+	w.U64(r.head)
+	w.Int(r.size)
+	w.Int(r.pos)
+	w.Bool(r.done)
+}
+
+// Load rebinds the buffer to src — a fresh source identical to the one the
+// checkpoint was taken over, positioned at its first instruction — then
+// fast-forwards past the released prefix and redraws the retained window.
+// Errors if the source runs dry before the window is rebuilt, which means
+// src does not match the checkpointed stream.
+func (r *Replay) Load(cr *ckpt.Reader, src Source) error {
+	cr.Expect("replay")
+	head := cr.U64()
+	size := cr.Int()
+	pos := cr.Int()
+	done := cr.Bool()
+	if err := cr.Err(); err != nil {
+		return err
+	}
+	r.Reset(src)
+	for i := uint64(0); i < head; i++ {
+		if _, ok := src.Next(); !ok {
+			return fmt.Errorf("trace: source exhausted at instruction %d restoring a replay window released through %d", i, head)
+		}
+	}
+	r.head = head // must precede the redraw: grow() re-places slots relative to head
+	for i := 0; i < size; i++ {
+		if r.size == len(r.ring) {
+			r.grow()
+		}
+		in, ok := src.Next()
+		if !ok {
+			return fmt.Errorf("trace: source exhausted at instruction %d restoring a replay window of %d retained", head+uint64(i), size)
+		}
+		in.Seq = head + uint64(i)
+		*r.at(in.Seq) = in
+		r.size++
+	}
+	r.pos = pos
+	r.nextSeq = head + uint64(size)
+	r.done = done
+	return nil
+}
