@@ -8,6 +8,7 @@ package cliutil
 
 import (
 	"flag"
+	"strings"
 
 	"rsepsim/internal/runner"
 	"rsepsim/internal/serve"
@@ -25,6 +26,7 @@ type Flags struct {
 	Server    string
 	JSON      bool
 	Slices    uint
+	Shards    string
 }
 
 // RegisterStore adds the -cache-dir / -cache / -cache-warm trio.
@@ -49,6 +51,26 @@ func (f *Flags) RegisterJSON(fs *flag.FlagSet) {
 func (f *Flags) RegisterSlices(fs *flag.FlagSet) {
 	fs.UintVar(&f.Slices, "slices", 0,
 		"decompose each job into this many checkpoint-chained slices; results are byte-identical, but a killed run resumes from finished slices (0 or 1: monolithic)")
+}
+
+// RegisterShards adds -shards, the front-end fabric switch.
+func (f *Flags) RegisterShards(fs *flag.FlagSet) {
+	fs.StringVar(&f.Shards, "shards", "",
+		"comma-separated shard daemon URLs; jobs are consistent-hashed across them and replayed on a sibling if a shard fails (front-end mode)")
+}
+
+// ShardList returns the parsed -shards URLs (nil when the flag is unset).
+func (f *Flags) ShardList() []string {
+	if strings.TrimSpace(f.Shards) == "" {
+		return nil
+	}
+	var urls []string
+	for _, u := range strings.Split(f.Shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
 }
 
 // Backend is the resolved execution side of the flags: exactly one of Client

@@ -1,0 +1,671 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rsepsim/internal/metrics"
+	"rsepsim/internal/runner"
+	"rsepsim/internal/serve"
+	"rsepsim/internal/store"
+)
+
+// Options configures a Fabric.
+type Options struct {
+	// Shards lists the shard daemon base URLs. Required (at least one).
+	Shards []string
+	// Runners overrides the BatchRunner per shard URL; URLs without an entry
+	// get a serve.Client. This is the seam tests use to stand in stub or
+	// fault-injected shards.
+	Runners map[string]runner.BatchRunner
+	// Probes overrides the health probe per shard URL; the default probes
+	// GET /healthz through a serve.Client.
+	Probes map[string]func(ctx context.Context) error
+	// Local, when non-nil, is the degradation target: batch remainders run
+	// here when every shard is down. Nil means those jobs fail instead.
+	Local runner.BatchRunner
+	// Replicas is the ring's virtual-node count per shard (0: DefaultReplicas).
+	Replicas int
+	// RetryBudget bounds replay rounds per batch after the initial dispatch;
+	// once spent, still-unresolved jobs fail with their last error.
+	// 0 means DefaultRetryBudget; negative means no retries.
+	RetryBudget int
+	// BackoffBase/BackoffMax shape the jittered exponential backoff between
+	// replay rounds (defaults 100ms / 5s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// HedgeAfter, when > 0, launches a duplicate dispatch on a sibling for
+	// any sub-batch still unresolved this long after its round started —
+	// the classic tail-latency hedge. Results are deterministic, so
+	// whichever copy answers first wins and the loser is ignored.
+	HedgeAfter time.Duration
+	// FailThreshold is the consecutive probe-failure count that evicts a
+	// shard (default 2). Dispatch failures evict immediately — they already
+	// cost a batch a retry round.
+	FailThreshold int
+	// ProbeTimeout bounds one health probe (default 3s).
+	ProbeTimeout time.Duration
+	// Seed seeds the backoff jitter; fixed seeds make retry schedules
+	// reproducible in tests. 0 means 1.
+	Seed int64
+	// Sleep overrides backoff sleeping (tests compress time). The default
+	// honors ctx.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Logf, when non-nil, receives one line per notable event (eviction,
+	// readmission, replay, hedge, fallback).
+	Logf func(format string, args ...any)
+}
+
+// DefaultRetryBudget is the replay-round budget per batch.
+const DefaultRetryBudget = 8
+
+// Fabric consistent-hashes jobs across shard daemons and is itself a
+// runner.BatchRunner: results come back in submission order, byte-identical
+// to a local run, whatever fails along the way (within the retry budget).
+type Fabric struct {
+	opt   Options
+	ring  *Ring
+	byURL map[string]*shard
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	retries, hedges, evictions, readmissions, localFallbacks atomic.Uint64
+}
+
+// shard is one dispatch target and its health state.
+type shard struct {
+	url   string
+	run   runner.BatchRunner
+	probe func(ctx context.Context) error
+
+	mu            sync.Mutex
+	down          bool
+	fails         int
+	lastErr       string
+	jobs          uint64
+	dispatches    uint64
+	dispatchFails uint64
+}
+
+// New builds a fabric over the configured shards. Shard clients share the
+// hardened default transport (serve.NewTransport); no shard is contacted
+// until the first dispatch or probe.
+func New(opt Options) (*Fabric, error) {
+	ring, err := NewRing(opt.Shards, opt.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	if opt.RetryBudget == 0 {
+		opt.RetryBudget = DefaultRetryBudget
+	} else if opt.RetryBudget < 0 {
+		opt.RetryBudget = 0
+	}
+	if opt.BackoffBase <= 0 {
+		opt.BackoffBase = 100 * time.Millisecond
+	}
+	if opt.BackoffMax <= 0 {
+		opt.BackoffMax = 5 * time.Second
+	}
+	if opt.FailThreshold <= 0 {
+		opt.FailThreshold = 2
+	}
+	if opt.ProbeTimeout <= 0 {
+		opt.ProbeTimeout = 3 * time.Second
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.Sleep == nil {
+		opt.Sleep = sleepCtx
+	}
+	if opt.Logf == nil {
+		opt.Logf = func(string, ...any) {}
+	}
+	f := &Fabric{
+		opt:   opt,
+		ring:  ring,
+		byURL: make(map[string]*shard, len(ring.Shards())),
+		rng:   rand.New(rand.NewSource(opt.Seed)),
+	}
+	for _, url := range ring.Shards() {
+		sh := &shard{url: url}
+		if r, ok := opt.Runners[url]; ok {
+			sh.run = r
+		} else {
+			cl, err := serve.NewClient(url)
+			if err != nil {
+				return nil, err
+			}
+			sh.run = cl
+		}
+		if p, ok := opt.Probes[url]; ok {
+			sh.probe = p
+		} else if cl, ok := sh.run.(*serve.Client); ok {
+			sh.probe = cl.Healthz
+		} else {
+			// A custom runner without a probe is presumed healthy; dispatch
+			// failures still evict it, and readmission is immediate.
+			sh.probe = func(context.Context) error { return nil }
+		}
+		f.byURL[url] = sh
+	}
+	return f, nil
+}
+
+var _ runner.BatchRunner = (*Fabric)(nil)
+
+// placementKey is the string the ring hashes for a job: the deterministic
+// result id (SHA-256 over the canonical config hash plus the workload
+// coordinates). Identical submissions land on the same shard every time,
+// from every front-end, so a resubmission hits the shard whose store — and
+// memory tier — already holds the answer.
+func placementKey(j runner.Job) string { return store.ID(j.Key()) }
+
+// liveShards returns the URLs currently accepting placements, in the ring's
+// canonical order.
+func (f *Fabric) liveShards() []string {
+	var live []string
+	for _, url := range f.ring.Shards() {
+		sh := f.byURL[url]
+		sh.mu.Lock()
+		ok := !sh.down
+		sh.mu.Unlock()
+		if ok {
+			live = append(live, url)
+		}
+	}
+	return live
+}
+
+// batchState is one RunBatch in flight: slot-per-job resolution guarded by
+// one mutex, so replays and hedges race benignly — the first resolution of a
+// slot wins and every later one is ignored.
+type batchState struct {
+	f *Fabric
+	b runner.Batch
+
+	mu        sync.Mutex
+	results   []runner.Result
+	resolved  []bool
+	done      int
+	attempted []map[string]bool // per job: shards already tried
+	lastErr   []error           // per job: last retryable failure
+	roundDone map[string]bool   // per round: sub-batches finished (hedge tail detection)
+}
+
+// RunBatch implements runner.BatchRunner: consistent-hash placement, ordered
+// merge, replay-on-sibling, hedging, degradation — see the package comment.
+// The error contract mirrors the local scheduler's: *runner.PartialError
+// after cancellation, else the first per-job failure in submission order.
+func (f *Fabric) RunBatch(ctx context.Context, b runner.Batch) ([]runner.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]runner.Result, len(b.Jobs))
+	for i := range b.Jobs {
+		results[i].Job = b.Jobs[i]
+	}
+	if len(b.Jobs) == 0 {
+		return results, nil
+	}
+	st := &batchState{
+		f:         f,
+		b:         b,
+		results:   results,
+		resolved:  make([]bool, len(b.Jobs)),
+		attempted: make([]map[string]bool, len(b.Jobs)),
+		lastErr:   make([]error, len(b.Jobs)),
+	}
+	for i := range st.attempted {
+		st.attempted[i] = make(map[string]bool, 2)
+	}
+
+	budget := f.opt.RetryBudget
+	for attempt := 0; ctx.Err() == nil; attempt++ {
+		un := st.unresolved()
+		if len(un) == 0 {
+			break
+		}
+		if attempt > 0 {
+			if budget == 0 {
+				st.failRemaining(un, errors.New("fabric: retry budget exhausted"))
+				break
+			}
+			budget--
+			f.retries.Add(uint64(len(un)))
+			f.opt.Logf("fabric: replaying %d jobs (budget %d left)", len(un), budget)
+			if err := f.opt.Sleep(ctx, f.backoff(attempt)); err != nil {
+				break
+			}
+		}
+		live := f.liveShards()
+		if len(live) == 0 {
+			// Every shard evicted: one synchronous probe round may readmit a
+			// recovered one before we give up on the tier entirely.
+			f.ProbeOnce(ctx)
+			live = f.liveShards()
+		}
+		if len(live) == 0 {
+			if f.opt.Local != nil {
+				f.localFallbacks.Add(1)
+				f.opt.Logf("fabric: every shard down; running %d jobs locally", len(un))
+				st.runLocal(ctx, un)
+				break
+			}
+			st.noteErr(un, errors.New("fabric: every shard is down"))
+			continue // backoff, reprobe, retry — until the budget runs out
+		}
+		st.runRound(ctx, st.assign(un, live))
+	}
+
+	if ctx.Err() != nil {
+		return results, st.sealCancelled(context.Cause(ctx))
+	}
+	for i := range results {
+		if results[i].Err != nil {
+			return results, &runner.JobFailure{Index: i, Bench: results[i].Job.Bench, Err: results[i].Err}
+		}
+	}
+	return results, nil
+}
+
+// unresolved returns the indices still awaiting an outcome, in submission
+// order.
+func (st *batchState) unresolved() []int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var un []int
+	for i, r := range st.resolved {
+		if !r {
+			un = append(un, i)
+		}
+	}
+	return un
+}
+
+// assign maps each unresolved job to a live shard by ring preference,
+// skipping shards that already failed it this batch (replay goes to a
+// sibling, not back into the hole). When every live shard has been tried,
+// the preference order restarts — the backoff in between gives the tier
+// time to recover.
+func (st *batchState) assign(un []int, live []string) map[string][]int {
+	liveSet := make(map[string]bool, len(live))
+	for _, u := range live {
+		liveSet[u] = true
+	}
+	out := make(map[string][]int)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, gi := range un {
+		prefs := st.f.ring.Prefer(placementKey(st.b.Jobs[gi]), 0)
+		pick := ""
+		for _, u := range prefs {
+			if liveSet[u] && !st.attempted[gi][u] {
+				pick = u
+				break
+			}
+		}
+		if pick == "" {
+			for _, u := range prefs {
+				if liveSet[u] {
+					pick = u
+					break
+				}
+			}
+		}
+		st.attempted[gi][pick] = true
+		out[pick] = append(out[pick], gi)
+	}
+	return out
+}
+
+// runRound dispatches one assignment in parallel, with an optional hedge
+// pass for stragglers, and returns when every dispatch (and hedge) has.
+func (st *batchState) runRound(ctx context.Context, assign map[string][]int) {
+	st.mu.Lock()
+	st.roundDone = make(map[string]bool, len(assign))
+	st.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for url, idxs := range assign {
+		wg.Add(1)
+		go func(url string, idxs []int) {
+			defer wg.Done()
+			st.runShard(ctx, url, idxs)
+			st.mu.Lock()
+			st.roundDone[url] = true
+			st.mu.Unlock()
+		}(url, idxs)
+	}
+
+	var hwg sync.WaitGroup
+	hedgeDone := make(chan struct{})
+	if st.f.opt.HedgeAfter > 0 {
+		hwg.Add(1)
+		go func() {
+			defer hwg.Done()
+			t := time.NewTimer(st.f.opt.HedgeAfter)
+			defer t.Stop()
+			select {
+			case <-hedgeDone:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+			st.hedge(ctx, assign)
+		}()
+	}
+	wg.Wait()
+	close(hedgeDone)
+	hwg.Wait()
+}
+
+// hedge re-dispatches the unresolved jobs of still-running sub-batches onto
+// siblings. The original dispatch keeps running — whichever attempt resolves
+// a slot first wins (outcomes are deterministic, so there is no conflict to
+// reconcile, only duplicate work to ignore).
+func (st *batchState) hedge(ctx context.Context, assign map[string][]int) {
+	live := st.f.liveShards()
+	if len(live) < 2 {
+		return
+	}
+	liveSet := make(map[string]bool, len(live))
+	for _, u := range live {
+		liveSet[u] = true
+	}
+	var hwg sync.WaitGroup
+	for url, idxs := range assign {
+		st.mu.Lock()
+		started := st.roundDone[url]
+		var un []int
+		for _, gi := range idxs {
+			if !st.resolved[gi] {
+				un = append(un, gi)
+			}
+		}
+		st.mu.Unlock()
+		if started || len(un) == 0 {
+			continue
+		}
+		// The sibling is the first live shard after the straggler in the
+		// first unresolved job's preference order.
+		sib := ""
+		for _, u := range st.f.ring.Prefer(placementKey(st.b.Jobs[un[0]]), 0) {
+			if u != url && liveSet[u] {
+				sib = u
+				break
+			}
+		}
+		if sib == "" {
+			continue
+		}
+		st.f.hedges.Add(1)
+		st.f.opt.Logf("fabric: hedging %d jobs from straggler %s on %s", len(un), url, sib)
+		hwg.Add(1)
+		go func(sib string, un []int) {
+			defer hwg.Done()
+			st.runShard(ctx, sib, un)
+		}(sib, un)
+	}
+	hwg.Wait()
+}
+
+// runShard submits one sub-batch to a shard, resolves what came back, and
+// classifies the failure mode of the rest:
+//
+//   - per-job failures with the batch otherwise complete are deterministic
+//     simulation failures — resolved as failures, never replayed;
+//   - a fatal API rejection (4xx) resolves every submitted job with it —
+//     the request is bad everywhere;
+//   - anything retryable (transport cut, 5xx, truncated stream, shard-side
+//     shutdown partial) leaves the unresolved jobs unresolved and evicts
+//     the shard, so the next round replays them on a sibling.
+func (st *batchState) runShard(ctx context.Context, url string, gidx []int) {
+	sh := st.f.byURL[url]
+	sub := st.b.Subset(gidx)
+	sub.OnProgress = func(p runner.Progress) {
+		if p.Err == nil {
+			st.resolve(gidx[p.Index], p.Stats, nil, p.CacheHit)
+		}
+		// Per-job errors are not resolved here: an abort caused by a dying
+		// shard arrives the same way a real simulation failure does, and
+		// only the batch-level error (below) tells them apart.
+	}
+	if st.b.OnSlice != nil {
+		sub.OnSlice = func(p runner.SliceProgress) {
+			st.mu.Lock()
+			p.Index = gidx[p.Index]
+			st.b.OnSlice(p)
+			st.mu.Unlock()
+		}
+	}
+
+	sh.mu.Lock()
+	sh.dispatches++
+	sh.jobs += uint64(len(gidx))
+	sh.mu.Unlock()
+
+	res, err := sh.run.RunBatch(ctx, sub)
+
+	// Successful outcomes always resolve, whatever the batch error.
+	for li, r := range res {
+		if r.Stats != nil {
+			st.resolve(gidx[li], r.Stats, nil, false)
+		}
+	}
+	if ctx.Err() != nil {
+		return // sealCancelled owns the rest
+	}
+
+	var jf *runner.JobFailure
+	var ae *serve.APIError
+	var pe *runner.PartialError
+	switch {
+	case err == nil, errors.As(err, &jf):
+		// The batch ran to completion; any per-job errors are real
+		// simulation failures and will fail identically on every sibling.
+		for li, r := range res {
+			if r.Err != nil {
+				st.resolve(gidx[li], nil, r.Err, false)
+			}
+		}
+		sh.noteSuccess()
+	case errors.As(err, &ae) && !serve.Retryable(ae):
+		// The daemon rejected the request itself; no sibling will differ.
+		for li, r := range res {
+			if r.Stats == nil {
+				st.resolve(gidx[li], nil, ae, false)
+			}
+		}
+		sh.noteSuccess() // the shard answered; it is healthy
+	case errors.As(err, &pe) && !serve.Retryable(pe):
+		// A partial whose cause is not retryable (and not our own
+		// cancellation, checked above): fail the aborted remainder.
+		for li, r := range res {
+			if r.Stats == nil {
+				st.resolve(gidx[li], nil, pe.Err, false)
+			}
+		}
+	default:
+		// Retryable: transport failure, 5xx, stream cut, shard shutdown.
+		// Leave the remainder unresolved for the next round and take the
+		// shard out of the placement set.
+		var left []int
+		for li, r := range res {
+			if r.Stats == nil {
+				left = append(left, gidx[li])
+			}
+		}
+		st.noteErr(left, err)
+		if len(left) > 0 {
+			st.f.evict(sh, err)
+		}
+	}
+}
+
+// runLocal is the bottom of the degradation ladder: the remainder executes
+// on the local runner. Its outcomes are final — local per-job failures are
+// as real as remote ones.
+func (st *batchState) runLocal(ctx context.Context, gidx []int) {
+	sub := st.b.Subset(gidx)
+	sub.OnProgress = func(p runner.Progress) {
+		if p.Err == nil {
+			st.resolve(gidx[p.Index], p.Stats, nil, p.CacheHit)
+		}
+	}
+	if st.b.OnSlice != nil {
+		sub.OnSlice = func(p runner.SliceProgress) {
+			st.mu.Lock()
+			p.Index = gidx[p.Index]
+			st.b.OnSlice(p)
+			st.mu.Unlock()
+		}
+	}
+	res, _ := st.f.opt.Local.RunBatch(ctx, sub)
+	for li, r := range res {
+		switch {
+		case r.Stats != nil:
+			st.resolve(gidx[li], r.Stats, nil, false)
+		case r.Err != nil && ctx.Err() == nil:
+			st.resolve(gidx[li], nil, r.Err, false)
+		}
+	}
+}
+
+// resolve settles one slot exactly once and forwards the batch's progress
+// callback with global indexing. Later resolutions of the same slot (a
+// hedge losing the race, a replay landing after a late success) are
+// ignored.
+func (st *batchState) resolve(gi int, stats *metrics.Stats, err error, hit bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.resolved[gi] {
+		return
+	}
+	st.resolved[gi] = true
+	st.results[gi].Stats = stats
+	st.results[gi].Err = err
+	st.done++
+	if st.b.OnProgress != nil {
+		st.b.OnProgress(runner.Progress{
+			Done:     st.done,
+			Total:    len(st.b.Jobs),
+			Index:    gi,
+			CacheHit: hit,
+			Job:      st.b.Jobs[gi],
+			Stats:    stats,
+			Err:      err,
+		})
+	}
+}
+
+// noteErr records the latest retryable failure per unresolved job, so the
+// budget-exhausted path fails them with the real cause, not a generic one.
+func (st *batchState) noteErr(gidx []int, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, gi := range gidx {
+		if !st.resolved[gi] {
+			st.lastErr[gi] = err
+		}
+	}
+}
+
+// failRemaining resolves every listed slot with its last recorded failure.
+func (st *batchState) failRemaining(gidx []int, fallback error) {
+	for _, gi := range gidx {
+		st.mu.Lock()
+		cause := st.lastErr[gi]
+		st.mu.Unlock()
+		if cause == nil {
+			cause = fallback
+		}
+		st.resolve(gi, nil, fmt.Errorf("fabric: job gave out after retries: %w", cause), false)
+	}
+}
+
+// sealCancelled mirrors the local scheduler's cancellation contract:
+// unresolved slots carry the cause, and the batch error is a *PartialError
+// splitting finished from aborted keys — unless everything finished anyway.
+func (st *batchState) sealCancelled(cause error) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	completed := 0
+	var finished, aborted []runner.Key
+	seen := make(map[runner.Key]bool)
+	for i := range st.results {
+		if st.results[i].Stats != nil {
+			completed++
+		} else if st.results[i].Err == nil {
+			st.results[i].Err = cause
+		}
+		k := st.b.Jobs[i].Key()
+		if !seen[k] {
+			seen[k] = true
+			if st.results[i].Stats != nil {
+				finished = append(finished, k)
+			} else {
+				aborted = append(aborted, k)
+			}
+		}
+	}
+	if completed == len(st.results) {
+		return nil
+	}
+	return &runner.PartialError{
+		Done:     completed,
+		Total:    len(st.results),
+		Finished: finished,
+		Aborted:  aborted,
+		Err:      cause,
+	}
+}
+
+// backoff returns the jittered exponential delay before replay round
+// attempt (1-based): base·2^(attempt-1) capped at max, half of it fixed and
+// half uniform random so synchronized front-ends do not retry in lockstep.
+func (f *Fabric) backoff(attempt int) time.Duration {
+	d := f.opt.BackoffBase
+	for i := 1; i < attempt && d < f.opt.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > f.opt.BackoffMax {
+		d = f.opt.BackoffMax
+	}
+	f.rngMu.Lock()
+	j := time.Duration(f.rng.Int63n(int64(d)/2 + 1))
+	f.rngMu.Unlock()
+	return d/2 + j
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	case <-t.C:
+		return nil
+	}
+}
+
+// Counters aggregates the shard clients' store-counter deltas, so a
+// front-end reports hit/miss economics spanning the whole tier the same way
+// a single daemon does.
+func (f *Fabric) Counters() runner.Counters {
+	var sum runner.Counters
+	for _, url := range f.ring.Shards() {
+		if c, ok := f.byURL[url].run.(interface{ Counters() runner.Counters }); ok {
+			sum = sum.Add(c.Counters())
+		}
+	}
+	return sum
+}

@@ -1,0 +1,556 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rsepsim/internal/config"
+	"rsepsim/internal/fabric/faultinject"
+	"rsepsim/internal/runner"
+	"rsepsim/internal/serve"
+	"rsepsim/internal/store"
+)
+
+func testJobs(n int) []runner.Job {
+	base := config.TableI()
+	var jobs []runner.Job
+	for _, bench := range []string{"mcf", "hmmer"} {
+		for seed := int64(1); len(jobs) < n; seed++ {
+			jobs = append(jobs, runner.Job{
+				Bench: bench, Config: base, Seed: seed,
+				Warmup: 2_000, Measure: 5_000,
+			})
+		}
+	}
+	return jobs[:n]
+}
+
+func encodeResults(t *testing.T, res []runner.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if err := r.Stats.EncodeJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func localBytes(t *testing.T, jobs []runner.Job) []byte {
+	t.Helper()
+	res, err := runner.New(runner.Options{Parallelism: 2}).Run(t.Context(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return encodeResults(t, res)
+}
+
+// flaky wraps a BatchRunner, failing its first failFirst calls with err
+// (results carry no stats) and delegating afterwards.
+type flaky struct {
+	inner     runner.BatchRunner
+	failFirst int
+	err       error
+	delay     time.Duration
+	calls     atomic.Int64
+}
+
+func (f *flaky) RunBatch(ctx context.Context, b runner.Batch) ([]runner.Result, error) {
+	n := f.calls.Add(1)
+	if f.delay > 0 {
+		select {
+		case <-ctx.Done():
+		case <-time.After(f.delay):
+		}
+	}
+	if int(n) <= f.failFirst {
+		res := make([]runner.Result, len(b.Jobs))
+		for i := range res {
+			res[i].Job = b.Jobs[i]
+		}
+		return res, f.err
+	}
+	return f.inner.RunBatch(ctx, b)
+}
+
+// blocking parks until the context is cancelled, then reports its error.
+type blocking struct{}
+
+func (blocking) RunBatch(ctx context.Context, b runner.Batch) ([]runner.Result, error) {
+	<-ctx.Done()
+	res := make([]runner.Result, len(b.Jobs))
+	for i := range res {
+		res[i].Job = b.Jobs[i]
+	}
+	return res, ctx.Err()
+}
+
+const always = int(^uint(0) >> 1) // failFirst value meaning "never recover"
+
+var noSleep = func(context.Context, time.Duration) error { return nil }
+
+func failingProbes(urls ...string) map[string]func(context.Context) error {
+	probes := make(map[string]func(context.Context) error, len(urls))
+	for _, u := range urls {
+		probes[u] = func(context.Context) error { return errors.New("probe: down") }
+	}
+	return probes
+}
+
+// TestFabricMatchesLocal: a healthy 3-shard fabric returns the same bytes,
+// in the same order, as a plain local run, and fires one progress event per
+// job with Done reaching Total.
+func TestFabricMatchesLocal(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:1", "http://c:1"}
+	runners := map[string]runner.BatchRunner{}
+	for _, u := range urls {
+		runners[u] = runner.New(runner.Options{Parallelism: 2})
+	}
+	f, err := New(Options{Shards: urls, Runners: runners, Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := testJobs(8)
+
+	var mu sync.Mutex
+	events, maxDone := 0, 0
+	res, err := f.RunBatch(t.Context(), runner.Batch{Jobs: jobs, OnProgress: func(p runner.Progress) {
+		mu.Lock()
+		events++
+		if p.Done > maxDone {
+			maxDone = p.Done
+		}
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := encodeResults(t, res), localBytes(t, jobs); !bytes.Equal(got, want) {
+		t.Fatal("fabric results differ from local ones")
+	}
+	if events != len(jobs) || maxDone != len(jobs) {
+		t.Fatalf("progress: %d events, max done %d, want %d/%d", events, maxDone, len(jobs), len(jobs))
+	}
+	st := f.Status()
+	var placed uint64
+	for _, sh := range st.Shards {
+		placed += sh.Jobs
+		if sh.State != "up" {
+			t.Fatalf("healthy shard %s reported %s", sh.URL, sh.State)
+		}
+	}
+	if placed != uint64(len(jobs)) {
+		t.Fatalf("shard table places %d jobs, want %d", placed, len(jobs))
+	}
+	if st.Retries != 0 || st.Evictions != 0 || st.LocalFallbacks != 0 {
+		t.Fatalf("healthy run bumped failure counters: %+v", st)
+	}
+}
+
+// TestFabricReplaysOnSibling: a shard that always fails retryably is
+// evicted and exactly its jobs are replayed on siblings — the batch still
+// completes byte-identical to local.
+func TestFabricReplaysOnSibling(t *testing.T) {
+	urls := []string{"http://bad:1", "http://good1:1", "http://good2:1"}
+	bad := &flaky{inner: nil, failFirst: always, err: errors.New("shard wedged")}
+	runners := map[string]runner.BatchRunner{
+		"http://bad:1":   bad,
+		"http://good1:1": runner.New(runner.Options{Parallelism: 2}),
+		"http://good2:1": runner.New(runner.Options{Parallelism: 2}),
+	}
+	f, err := New(Options{Shards: urls, Runners: runners, Sleep: noSleep,
+		Probes: failingProbes("http://bad:1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := testJobs(8)
+	res, err := f.RunBatch(t.Context(), runner.Batch{Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := encodeResults(t, res), localBytes(t, jobs); !bytes.Equal(got, want) {
+		t.Fatal("replayed results differ from local ones")
+	}
+	if bad.calls.Load() == 0 {
+		t.Fatal("placement never touched the bad shard; test proves nothing")
+	}
+	st := f.Status()
+	if st.Evictions != 1 || st.Retries == 0 {
+		t.Fatalf("want 1 eviction and >0 retries, got %+v", st)
+	}
+	for _, sh := range st.Shards {
+		if sh.URL == "http://bad:1" {
+			if sh.State != "down" || sh.DispatchFailures == 0 || sh.LastError == "" {
+				t.Fatalf("bad shard row: %+v", sh)
+			}
+		} else if sh.State != "up" {
+			t.Fatalf("healthy sibling %s evicted", sh.URL)
+		}
+	}
+}
+
+// TestFabricFatalErrorNotRetried: a 4xx rejection is final — the jobs fail
+// with it immediately, nothing is replayed, and the shard stays up (it
+// answered; it is healthy).
+func TestFabricFatalErrorNotRetried(t *testing.T) {
+	urls := []string{"http://bad:1", "http://good:1"}
+	apiErr := &serve.APIError{Status: http.StatusBadRequest, Code: "invalid_batch", Message: "no"}
+	bad := &flaky{failFirst: always, err: apiErr}
+	runners := map[string]runner.BatchRunner{
+		"http://bad:1":  bad,
+		"http://good:1": runner.New(runner.Options{Parallelism: 2}),
+	}
+	f, err := New(Options{Shards: urls, Runners: runners, Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := testJobs(8)
+	res, err := f.RunBatch(t.Context(), runner.Batch{Jobs: jobs})
+	var jf *runner.JobFailure
+	if !errors.As(err, &jf) {
+		t.Fatalf("want *runner.JobFailure, got %T: %v", err, err)
+	}
+	var ae *serve.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("failure does not carry the APIError: %v", err)
+	}
+	if bad.calls.Load() != 1 {
+		t.Fatalf("fatal error was retried: %d calls", bad.calls.Load())
+	}
+	st := f.Status()
+	if st.Retries != 0 || st.Evictions != 0 {
+		t.Fatalf("fatal rejection bumped retry/evict counters: %+v", st)
+	}
+	failed := 0
+	for _, r := range res {
+		if r.Err != nil {
+			failed++
+		}
+	}
+	if failed == 0 || failed == len(res) {
+		t.Fatalf("%d/%d jobs failed; want only the bad shard's share", failed, len(res))
+	}
+}
+
+// TestFabricLocalFallback: with every shard down and probes refusing to
+// readmit, the batch degrades to the local runner and still completes
+// byte-identical to a plain local run.
+func TestFabricLocalFallback(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:1"}
+	boom := errors.New("refused")
+	runners := map[string]runner.BatchRunner{
+		"http://a:1": &flaky{failFirst: always, err: boom},
+		"http://b:1": &flaky{failFirst: always, err: boom},
+	}
+	f, err := New(Options{Shards: urls, Runners: runners, Sleep: noSleep,
+		Probes: failingProbes(urls...),
+		Local:  runner.New(runner.Options{Parallelism: 2})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := testJobs(4)
+	res, err := f.RunBatch(t.Context(), runner.Batch{Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := encodeResults(t, res), localBytes(t, jobs); !bytes.Equal(got, want) {
+		t.Fatal("fallback results differ from local ones")
+	}
+	st := f.Status()
+	if st.LocalFallbacks != 1 || st.Evictions != 2 {
+		t.Fatalf("want 1 local fallback / 2 evictions, got %+v", st)
+	}
+}
+
+// TestFabricBudgetExhausted: with every shard down and no local runner,
+// jobs fail after the retry budget with the real cause attached, not hang.
+func TestFabricBudgetExhausted(t *testing.T) {
+	urls := []string{"http://a:1"}
+	runners := map[string]runner.BatchRunner{
+		"http://a:1": &flaky{failFirst: always, err: errors.New("refused")},
+	}
+	f, err := New(Options{Shards: urls, Runners: runners, Sleep: noSleep,
+		RetryBudget: 2, Probes: failingProbes(urls...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := testJobs(2)
+	res, err := f.RunBatch(t.Context(), runner.Batch{Jobs: jobs})
+	var jf *runner.JobFailure
+	if !errors.As(err, &jf) {
+		t.Fatalf("want *runner.JobFailure, got %T: %v", err, err)
+	}
+	for i, r := range res {
+		if r.Err == nil || !strings.Contains(r.Err.Error(), "gave out after retries") {
+			t.Fatalf("job %d error %v, want the budget-exhausted wrap", i, r.Err)
+		}
+	}
+	if st := f.Status(); st.Retries != 2*uint64(len(jobs)) {
+		t.Fatalf("retries = %d, want %d", st.Retries, 2*len(jobs))
+	}
+}
+
+// TestFabricCancellation: cancelling the caller's context mid-dispatch
+// yields the local scheduler's contract — a *runner.PartialError whose
+// aborted keys carry the cause, with no key in both lists.
+func TestFabricCancellation(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:1"}
+	runners := map[string]runner.BatchRunner{
+		"http://a:1": blocking{},
+		"http://b:1": blocking{},
+	}
+	f, err := New(Options{Shards: urls, Runners: runners, Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := testJobs(4)
+	ctx, cancel := context.WithCancel(t.Context())
+	go func() { time.Sleep(30 * time.Millisecond); cancel() }()
+	res, err := f.RunBatch(ctx, runner.Batch{Jobs: jobs})
+	var pe *runner.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *runner.PartialError, got %T: %v", err, err)
+	}
+	if pe.Done != 0 || len(pe.Finished) != 0 {
+		t.Fatalf("nothing could finish, yet %d done / %v finished", pe.Done, pe.Finished)
+	}
+	aborted := make(map[runner.Key]bool)
+	for _, k := range pe.Aborted {
+		aborted[k] = true
+	}
+	for i, r := range res {
+		if r.Err == nil || !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("job %d error %v, want the cancellation cause", i, r.Err)
+		}
+		if !aborted[jobs[i].Key()] {
+			t.Fatalf("job %d key missing from Aborted", i)
+		}
+	}
+}
+
+// TestFabricHedgesStragglers: a shard that answers late gets its unresolved
+// jobs duplicated on a sibling; results stay byte-identical (outcomes are
+// deterministic, the duplicate is ignored) and the hedge counter moves.
+func TestFabricHedgesStragglers(t *testing.T) {
+	urls := []string{"http://slow:1", "http://fast:1"}
+	slow := &flaky{inner: runner.New(runner.Options{Parallelism: 2}), delay: 300 * time.Millisecond}
+	runners := map[string]runner.BatchRunner{
+		"http://slow:1": slow,
+		"http://fast:1": runner.New(runner.Options{Parallelism: 2}),
+	}
+	f, err := New(Options{Shards: urls, Runners: runners, Sleep: noSleep,
+		HedgeAfter: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := testJobs(8)
+	res, err := f.RunBatch(t.Context(), runner.Batch{Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := encodeResults(t, res), localBytes(t, jobs); !bytes.Equal(got, want) {
+		t.Fatal("hedged results differ from local ones")
+	}
+	if slow.calls.Load() == 0 {
+		t.Fatal("placement never touched the slow shard; test proves nothing")
+	}
+	if st := f.Status(); st.Hedges == 0 {
+		t.Fatalf("no hedge launched: %+v", st)
+	}
+}
+
+// TestFabricProbeEvictionAndReadmission: consecutive probe failures evict a
+// shard at the threshold; one healthy probe readmits it.
+func TestFabricProbeEvictionAndReadmission(t *testing.T) {
+	var healthy atomic.Bool
+	urls := []string{"http://a:1"}
+	f, err := New(Options{
+		Shards:  urls,
+		Runners: map[string]runner.BatchRunner{"http://a:1": runner.New(runner.Options{})},
+		Probes: map[string]func(context.Context) error{
+			"http://a:1": func(context.Context) error {
+				if healthy.Load() {
+					return nil
+				}
+				return errors.New("probe: connection refused")
+			},
+		},
+		FailThreshold: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ProbeOnce(t.Context())
+	if st := f.Status(); st.Shards[0].State != "up" {
+		t.Fatalf("one failed probe already evicted: %+v", st.Shards[0])
+	}
+	f.ProbeOnce(t.Context())
+	st := f.Status()
+	if st.Shards[0].State != "down" || st.Evictions != 1 {
+		t.Fatalf("second failed probe did not evict: %+v", st)
+	}
+	healthy.Store(true)
+	f.ProbeOnce(t.Context())
+	st = f.Status()
+	if st.Shards[0].State != "up" || st.Readmissions != 1 || st.Shards[0].Failures != 0 {
+		t.Fatalf("healthy probe did not readmit: %+v", st)
+	}
+}
+
+// newShardDaemon starts one real rsepd-equivalent over the given store
+// directory (shared directories model a fleet over one network store) and
+// returns its base URL. Parallelism 1 keeps the daemon's completion order —
+// and therefore fault-schedule interactions — deterministic.
+func newShardDaemon(t *testing.T, dir string) string {
+	t.Helper()
+	disk, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := runner.NewScheduler(runner.SchedulerOptions{
+		Parallelism: 1,
+		Store:       store.NewTiered(disk, false),
+	})
+	srv := serve.NewServer(serve.Options{Sched: sched, Disk: disk})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// faultedClient wires a serve.Client through a scripted fault transport
+// that only disturbs batch submissions (health probes stay clean).
+func faultedClient(t *testing.T, url string, script []faultinject.Fault) (*serve.Client, *faultinject.Transport) {
+	t.Helper()
+	tr := &faultinject.Transport{
+		Base:   serve.NewTransport(),
+		Match:  func(r *http.Request) bool { return strings.HasSuffix(r.URL.Path, "/v1/batches") },
+		Script: script,
+	}
+	cl, err := serve.NewClientWith(url, &http.Client{Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, tr
+}
+
+// runFaultedFabric stands up a fresh 3-shard fabric over real daemons
+// sharing one store directory, injects the given per-shard fault scripts,
+// runs the batch, and returns the encoded result bytes plus the final
+// dispatcher counters.
+func runFaultedFabric(t *testing.T, jobs []runner.Job) ([]byte, *serve.FabricStatus) {
+	t.Helper()
+	dir := t.TempDir()
+	// The ring is built over stable names (placement must not depend on the
+	// ephemeral httptest ports); each name's Runner points at a real daemon.
+	// The first two shards draw faults: one refuses its first dispatch
+	// outright, one 503s it. Both are evicted and exactly their jobs replay
+	// on the survivor.
+	names := []string{"http://shard0:8321", "http://shard1:8321", "http://shard2:8321"}
+	scripts := map[string][]faultinject.Fault{
+		names[0]: {{Refuse: true}},
+		names[1]: {{Status: http.StatusServiceUnavailable}},
+	}
+	runners := map[string]runner.BatchRunner{}
+	transports := map[string]*faultinject.Transport{}
+	for _, name := range names {
+		cl, tr := faultedClient(t, newShardDaemon(t, dir), scripts[name])
+		runners[name] = cl
+		transports[name] = tr
+	}
+	f, err := New(Options{Shards: names, Runners: runners, Sleep: noSleep, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.RunBatch(t.Context(), runner.Batch{Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for _, tr := range transports {
+		fired += tr.Fired()
+	}
+	if fired == 0 {
+		t.Fatal("no fault fired; the schedule never engaged")
+	}
+	return encodeResults(t, res), f.Status()
+}
+
+// TestFabricFaultScheduleDeterministic is the acceptance matrix: a seeded
+// fault schedule against a 3-shard fabric of real daemons completes
+// byte-identical to a cold single-node run, finished work is never
+// re-simulated (the tier performs exactly one simulation per unique job,
+// verified against the shards' own admission counters), and the whole run —
+// results and failure-handling counters — is identical across two fresh
+// executions.
+func TestFabricFaultScheduleDeterministic(t *testing.T) {
+	jobs := testJobs(8)
+	want := localBytes(t, jobs)
+
+	gotA, stA := runFaultedFabric(t, jobs)
+	gotB, stB := runFaultedFabric(t, jobs)
+	if !bytes.Equal(gotA, want) {
+		t.Fatal("faulted fabric run differs from cold single-node run")
+	}
+	if !bytes.Equal(gotA, gotB) {
+		t.Fatal("two identically-seeded faulted runs differ")
+	}
+	if stA.Evictions == 0 || stA.Retries == 0 {
+		t.Fatalf("faults never drove the retry path: %+v", stA)
+	}
+	if stA.Retries != stB.Retries || stA.Evictions != stB.Evictions || stA.Hedges != stB.Hedges {
+		t.Fatalf("failure-handling counters differ across identical runs:\nA %+v\nB %+v", stA, stB)
+	}
+}
+
+// TestFabricNeverResimulatesFinishedWork: with shards sharing one store, a
+// mid-batch shard loss replays only the aborted jobs — the tier's total
+// simulation count equals the unique job count, never more.
+func TestFabricNeverResimulatesFinishedWork(t *testing.T) {
+	jobs := testJobs(8)
+	dir := t.TempDir()
+	names := []string{"http://shard0:8321", "http://shard1:8321", "http://shard2:8321"}
+	runners := map[string]runner.BatchRunner{}
+	clients := map[string]*serve.Client{}
+	for _, name := range names {
+		var script []faultinject.Fault
+		if name == names[0] {
+			script = []faultinject.Fault{{Refuse: true}}
+		}
+		cl, _ := faultedClient(t, newShardDaemon(t, dir), script)
+		runners[name] = cl
+		clients[name] = cl
+	}
+	f, err := New(Options{Shards: names, Runners: runners, Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.RunBatch(t.Context(), runner.Batch{Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := encodeResults(t, res), localBytes(t, jobs); !bytes.Equal(got, want) {
+		t.Fatal("results differ from local ones")
+	}
+	var sims uint64
+	for _, cl := range clients {
+		st, err := cl.Status(t.Context())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sims += st.Simulations
+	}
+	if sims != uint64(len(jobs)) {
+		t.Fatalf("tier ran %d simulations for %d unique jobs — finished work was re-simulated (or lost)", sims, len(jobs))
+	}
+}

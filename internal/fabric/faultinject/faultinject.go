@@ -1,0 +1,182 @@
+// Package faultinject wraps an http.RoundTripper with a deterministic fault
+// schedule: each matched request consumes the next entry of a script that
+// can refuse the connection, answer with a synthetic 5xx, cut the response
+// body after a byte budget, or stall before responding. Because the script
+// is data — not a random process sampled at call time — a failure matrix
+// driven through it replays identically on every run, which is what makes
+// the fabric's retry/hedge/evict tests assertable. A seeded generator
+// (RandomScript) turns "20% flaky" into such a script up front, keeping the
+// randomness in one reproducible place.
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Fault is one scripted behaviour. The zero Fault passes the request
+// through untouched. At most one of Refuse / Status / TruncateAfter should
+// be set; Delay composes with any of them (and with a clean passthrough).
+type Fault struct {
+	// Refuse fails the request without reaching the server, like a
+	// connection refused at dial time.
+	Refuse bool
+	// Status short-circuits with a synthetic response carrying this HTTP
+	// status and a JSON error envelope, without reaching the server.
+	Status int
+	// TruncateAfter lets the real request through but cuts the response
+	// body with io.ErrUnexpectedEOF once this many bytes have been read —
+	// mid-event, if it lands inside one.
+	TruncateAfter int64
+	// Delay stalls this long before the request proceeds (or fails).
+	Delay time.Duration
+}
+
+func (f Fault) clean() bool { return !f.Refuse && f.Status == 0 && f.TruncateAfter <= 0 }
+
+// Error is the transport-level error injected by Refuse faults. The serve
+// client classifies it like any other transport failure: retryable.
+type Error struct {
+	Request int // 0-based index of the matched request that drew the fault
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faultinject: connection refused (matched request %d)", e.Request)
+}
+
+// Transport is the scripted RoundTripper. Matched requests consume script
+// entries in arrival order; once the script is exhausted (or for requests
+// Match rejects) it behaves exactly like Base.
+type Transport struct {
+	// Base handles requests that are passed through. Required.
+	Base http.RoundTripper
+	// Match selects which requests consume script entries. Nil matches all.
+	// Point it at the batch path to keep health probes unaffected.
+	Match func(*http.Request) bool
+	// Script is consumed one entry per matched request.
+	Script []Fault
+
+	mu     sync.Mutex
+	next   int
+	fired  int
+	faults []int
+}
+
+// Matched reports how many requests have consumed script entries, and
+// Fired how many of those drew a non-clean fault.
+func (t *Transport) Matched() int { t.mu.Lock(); defer t.mu.Unlock(); return t.next }
+func (t *Transport) Fired() int   { t.mu.Lock(); defer t.mu.Unlock(); return t.fired }
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Match != nil && !t.Match(req) {
+		return t.Base.RoundTrip(req)
+	}
+	t.mu.Lock()
+	i := t.next
+	t.next++
+	var f Fault
+	if i < len(t.Script) {
+		f = t.Script[i]
+	}
+	if !f.clean() {
+		t.fired++
+	}
+	t.mu.Unlock()
+
+	if f.Delay > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(f.Delay):
+		}
+	}
+	switch {
+	case f.Refuse:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &Error{Request: i}
+	case f.Status > 0:
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		body := fmt.Sprintf(`{"error":{"code":"fault_injected","message":"scripted %d for matched request %d"}}`, f.Status, i)
+		return &http.Response{
+			Status:     fmt.Sprintf("%d %s", f.Status, http.StatusText(f.Status)),
+			StatusCode: f.Status,
+			Proto:      req.Proto,
+			ProtoMajor: req.ProtoMajor,
+			ProtoMinor: req.ProtoMinor,
+			Header:     http.Header{"Content-Type": []string{"application/json"}},
+			Body:       io.NopCloser(bytes.NewReader([]byte(body))),
+			Request:    req,
+		}, nil
+	case f.TruncateAfter > 0:
+		resp, err := t.Base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &truncated{rc: resp.Body, left: f.TruncateAfter}
+		return resp, nil
+	default:
+		return t.Base.RoundTrip(req)
+	}
+}
+
+// truncated cuts an underlying body after a byte budget. The first read
+// past the budget returns io.ErrUnexpectedEOF, and Close still closes the
+// real body so the connection is torn down rather than leaked.
+type truncated struct {
+	rc   io.ReadCloser
+	left int64
+}
+
+func (r *truncated) Read(p []byte) (int, error) {
+	if r.left <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > r.left {
+		p = p[:r.left]
+	}
+	n, err := r.rc.Read(p)
+	r.left -= int64(n)
+	if err == nil && r.left <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (r *truncated) Close() error { return r.rc.Close() }
+
+// RandomScript expands a flakiness rate into a concrete script: n entries,
+// each drawing one of the given faults with probability p (uniformly among
+// them), clean otherwise. The same seed always yields the same script, so
+// "seeded chaos" stays replayable. Uses a local SplitMix64 so scripts are
+// stable across Go releases, unlike math/rand's generator.
+func RandomScript(seed uint64, n int, p float64, faults ...Fault) []Fault {
+	if len(faults) == 0 || n <= 0 {
+		return nil
+	}
+	s := seed
+	rnd := func() float64 {
+		// SplitMix64 step.
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return float64(z>>11) / (1 << 53)
+	}
+	script := make([]Fault, n)
+	for i := range script {
+		if rnd() < p {
+			script[i] = faults[int(rnd()*float64(len(faults)))%len(faults)]
+		}
+	}
+	return script
+}

@@ -1,0 +1,110 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func newTarget(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestScriptConsumption: matched requests draw script entries in order —
+// refuse, then 503, then clean passthrough forever — and unmatched requests
+// never consume entries.
+func TestScriptConsumption(t *testing.T) {
+	ts := newTarget(t, "ok")
+	tr := &Transport{
+		Base:   http.DefaultTransport,
+		Match:  func(r *http.Request) bool { return strings.HasPrefix(r.URL.Path, "/batch") },
+		Script: []Fault{{Refuse: true}, {Status: http.StatusServiceUnavailable}},
+	}
+	hc := &http.Client{Transport: tr}
+
+	for i := 0; i < 3; i++ { // health probes: unmatched, always clean
+		resp, err := hc.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatalf("unmatched request %d failed: %v", i, err)
+		}
+		resp.Body.Close()
+	}
+	if tr.Matched() != 0 {
+		t.Fatalf("unmatched requests consumed %d script entries", tr.Matched())
+	}
+
+	_, err := hc.Get(ts.URL + "/batch")
+	var fe *Error
+	if err == nil || !errors.As(err, &fe) || fe.Request != 0 {
+		t.Fatalf("first matched request: want a refusal for request 0, got %v", err)
+	}
+	resp, err := hc.Get(ts.URL + "/batch")
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second matched request: want a scripted 503, got %v / %v", resp, err)
+	}
+	resp.Body.Close()
+	resp, err = hc.Get(ts.URL + "/batch")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-script request: want clean passthrough, got %v / %v", resp, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("passthrough body %q", body)
+	}
+	if tr.Matched() != 3 || tr.Fired() != 2 {
+		t.Fatalf("matched %d / fired %d, want 3 / 2", tr.Matched(), tr.Fired())
+	}
+}
+
+// TestTruncation: the body is cut with io.ErrUnexpectedEOF after exactly
+// the byte budget, never silently shortened to a clean EOF.
+func TestTruncation(t *testing.T) {
+	ts := newTarget(t, strings.Repeat("x", 1000))
+	tr := &Transport{Base: http.DefaultTransport, Script: []Fault{{TruncateAfter: 100}}}
+	resp, err := (&http.Client{Transport: tr}).Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want io.ErrUnexpectedEOF, got %v", err)
+	}
+	if len(body) != 100 {
+		t.Fatalf("read %d bytes past the 100-byte budget", len(body))
+	}
+}
+
+// TestRandomScriptDeterministic: same seed, same script; different seed,
+// (almost surely) different script; rate roughly honored.
+func TestRandomScriptDeterministic(t *testing.T) {
+	menu := []Fault{{Refuse: true}, {Status: 503}}
+	a := RandomScript(7, 200, 0.3, menu...)
+	b := RandomScript(7, 200, 0.3, menu...)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different scripts")
+	}
+	c := RandomScript(8, 200, 0.3, menu...)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical scripts")
+	}
+	fired := 0
+	for _, f := range a {
+		if !f.clean() {
+			fired++
+		}
+	}
+	if fired < 30 || fired > 90 {
+		t.Fatalf("rate 0.3 over 200 entries fired %d faults", fired)
+	}
+}

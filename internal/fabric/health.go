@@ -1,0 +1,139 @@
+package fabric
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"rsepsim/internal/serve"
+)
+
+// evict takes a shard out of the placement set immediately. Dispatch
+// failures call this directly — they already cost a batch a retry round, so
+// there is nothing to confirm — while probe failures go through noteProbe's
+// consecutive-failure threshold. Readmission is only ever probe-driven.
+func (f *Fabric) evict(sh *shard, cause error) {
+	sh.mu.Lock()
+	sh.fails++
+	sh.dispatchFails++
+	sh.lastErr = cause.Error()
+	was := sh.down
+	sh.down = true
+	sh.mu.Unlock()
+	if !was {
+		f.evictions.Add(1)
+		f.opt.Logf("fabric: evicted %s: %v", sh.url, cause)
+	}
+}
+
+// noteSuccess records a healthy dispatch: the failure streak resets. (An up
+// answer from an evicted shard cannot happen through placement — only a
+// probe readmits — but a hedge or in-flight dispatch finishing after an
+// eviction does land here, and deliberately does not readmit: the probe is
+// the single authority on readmission.)
+func (sh *shard) noteSuccess() {
+	sh.mu.Lock()
+	if !sh.down {
+		sh.fails = 0
+		sh.lastErr = ""
+	}
+	sh.mu.Unlock()
+}
+
+// noteProbe folds one health-probe outcome into the shard's state.
+func (f *Fabric) noteProbe(sh *shard, err error) {
+	sh.mu.Lock()
+	if err == nil {
+		if sh.down {
+			sh.down = false
+			sh.mu.Unlock()
+			f.readmissions.Add(1)
+			f.opt.Logf("fabric: readmitted %s", sh.url)
+			sh.mu.Lock()
+		}
+		sh.fails = 0
+		sh.lastErr = ""
+		sh.mu.Unlock()
+		return
+	}
+	sh.fails++
+	sh.lastErr = err.Error()
+	evicted := !sh.down && sh.fails >= f.opt.FailThreshold
+	if evicted {
+		sh.down = true
+	}
+	sh.mu.Unlock()
+	if evicted {
+		f.evictions.Add(1)
+		f.opt.Logf("fabric: evicted %s after %d failed probes: %v", sh.url, f.opt.FailThreshold, err)
+	}
+}
+
+// ProbeOnce health-checks every shard concurrently and folds the outcomes
+// into the eviction/readmission state machine. The prober loop calls it on
+// a schedule; the dispatcher calls it synchronously as a last resort before
+// declaring the whole tier down.
+func (f *Fabric) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, url := range f.ring.Shards() {
+		sh := f.byURL[url]
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, f.opt.ProbeTimeout)
+			defer cancel()
+			f.noteProbe(sh, sh.probe(pctx))
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// StartProber probes every shard on the given interval until ctx ends. An
+// immediate first round runs before the ticker starts, so a front-end knows
+// its tier's shape within one probe timeout of boot.
+func (f *Fabric) StartProber(ctx context.Context, every time.Duration) {
+	go func() {
+		f.ProbeOnce(ctx)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				f.ProbeOnce(ctx)
+			}
+		}
+	}()
+}
+
+// Status snapshots the shard table and dispatcher counters in the wire
+// shape /v1/status serves.
+func (f *Fabric) Status() *serve.FabricStatus {
+	fs := &serve.FabricStatus{
+		Retries:        f.retries.Load(),
+		Hedges:         f.hedges.Load(),
+		Evictions:      f.evictions.Load(),
+		Readmissions:   f.readmissions.Load(),
+		LocalFallbacks: f.localFallbacks.Load(),
+	}
+	for _, url := range f.ring.Shards() {
+		sh := f.byURL[url]
+		sh.mu.Lock()
+		row := serve.ShardStatus{
+			URL:              url,
+			State:            "up",
+			Failures:         sh.fails,
+			LastError:        sh.lastErr,
+			Jobs:             sh.jobs,
+			Dispatches:       sh.dispatches,
+			DispatchFailures: sh.dispatchFails,
+		}
+		if sh.down {
+			row.State = "down"
+		}
+		sh.mu.Unlock()
+		fs.Shards = append(fs.Shards, row)
+	}
+	return fs
+}

@@ -1,0 +1,143 @@
+// Package fabric is the sharded front-end over the serving layer: one
+// process that consistent-hashes jobs across a set of rsepd shard daemons,
+// merges their result streams back into deterministic batch order, and
+// survives shards failing mid-batch by replaying exactly the unresolved work
+// on siblings — with jittered exponential backoff, a per-batch retry budget,
+// hedged requests for stragglers, health-probe-driven eviction/readmission,
+// and graceful degradation to local execution when every shard is down.
+//
+// Fabric satisfies runner.BatchRunner, so a front-end daemon mounts the same
+// HTTP surface a single-node daemon does (internal/serve) and callers cannot
+// tell how many machines answered them.
+package fabric
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring: each shard owns Replicas pseudo-random
+// points on a 64-bit circle, and a key belongs to the shard owning the first
+// point clockwise from the key's hash. Placement depends only on (shard
+// names, replica count) — never on insertion order or process state — so
+// every front-end, restarted or not, computes identical placements, and
+// removing one of N shards remaps only the keys the removed shard owned
+// (~K/N of them): the other shards' warm stores stay warm.
+//
+// Hashing is FNV-1a 64 finished with the SplitMix64 mixer — both stable
+// across Go versions, architectures and processes; determinism here is an
+// API guarantee, not an accident. The finisher matters: raw FNV-1a maps the
+// sequentially-numbered vnode labels ("shard#0", "shard#1", ...) to one
+// tight cluster of points per shard, collapsing the ring into N contiguous
+// arcs with terrible load variance.
+type Ring struct {
+	replicas int
+	shards   []string
+	points   []point // sorted by hash
+}
+
+type point struct {
+	hash  uint64
+	shard int // index into shards
+}
+
+// DefaultReplicas is the virtual-node count per shard: enough that load
+// spreads within a few percent of uniform for single-digit shard counts.
+const DefaultReplicas = 64
+
+// NewRing builds a ring over the given shard names (deduplicated; order
+// irrelevant). replicas <= 0 means DefaultReplicas.
+func NewRing(shards []string, replicas int) (*Ring, error) {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(shards))
+	var uniq []string
+	for _, s := range shards {
+		if s == "" {
+			return nil, fmt.Errorf("fabric: empty shard name")
+		}
+		if !seen[s] {
+			seen[s] = true
+			uniq = append(uniq, s)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("fabric: ring needs at least one shard")
+	}
+	// Canonical shard order makes the ring independent of argument order.
+	sort.Strings(uniq)
+	r := &Ring{replicas: replicas, shards: uniq}
+	r.points = make([]point, 0, len(uniq)*replicas)
+	for si, s := range uniq {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", s, v)), shard: si})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (astronomically rare) break by shard name so placement
+		// stays total-ordered and deterministic.
+		return r.shards[r.points[i].shard] < r.shards[r.points[j].shard]
+	})
+	return r, nil
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the SplitMix64 finisher: full avalanche over FNV's output, so
+// near-identical inputs land far apart on the circle.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Shards returns the ring's member names in canonical order.
+func (r *Ring) Shards() []string {
+	out := make([]string, len(r.shards))
+	copy(out, r.shards)
+	return out
+}
+
+// Owner returns the shard that owns key.
+func (r *Ring) Owner(key string) string {
+	return r.shards[r.points[r.start(key)].shard]
+}
+
+// Prefer returns up to n distinct shards in the key's clockwise preference
+// order: Prefer(key, n)[0] is the owner, [1] the first sibling, and so on.
+// A dispatcher walks this list when the owner is down or failed — the
+// fallback target is as deterministic as the primary placement.
+func (r *Ring) Prefer(key string, n int) []string {
+	if n <= 0 || n > len(r.shards) {
+		n = len(r.shards)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for i, start := 0, r.start(key); i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, r.shards[p.shard])
+		}
+	}
+	return out
+}
+
+// start returns the index of the first ring point clockwise from key's hash.
+func (r *Ring) start(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}

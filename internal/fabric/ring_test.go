@@ -1,0 +1,181 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sha256:%032x", i*2654435761)
+	}
+	return keys
+}
+
+// TestRingDeterministicAcrossConstruction: placement is a pure function of
+// (shard set, replicas) — shard argument order, repetition, and independent
+// ring instances all agree. This is the cross-process guarantee: every
+// front-end, restarted or not, computes identical placements.
+func TestRingDeterministicAcrossConstruction(t *testing.T) {
+	shards := []string{"http://c:1", "http://a:1", "http://b:1"}
+	r1, err := NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{"http://b:1", "http://a:1", "http://c:1", "http://a:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Shards(), r2.Shards()) {
+		t.Fatalf("canonical orders differ: %v vs %v", r1.Shards(), r2.Shards())
+	}
+	for _, k := range testKeys(2000) {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("owner of %q differs across instances: %q vs %q", k, r1.Owner(k), r2.Owner(k))
+		}
+		if !reflect.DeepEqual(r1.Prefer(k, 0), r2.Prefer(k, 0)) {
+			t.Fatalf("preference order of %q differs across instances", k)
+		}
+	}
+}
+
+// TestRingGoldenPins: concrete placements pinned against the FNV-1a layout.
+// If these move, placement changed across a release — every deployed store's
+// locality would be shuffled — so moving them must be a deliberate decision,
+// not a refactoring accident.
+func TestRingGoldenPins(t *testing.T) {
+	r, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(64)
+	got := ""
+	for _, k := range keys {
+		got += r.Owner(k)[7:8] // the distinguishing letter
+	}
+	const want = "caccbbbbcababcaaabcbabbaacaabbabbbcbbacccaabaacaabbcbabccbaaacba"
+	if got != want {
+		t.Fatalf("golden placement changed:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestRingBoundedChurn: removing one of N shards remaps only the keys the
+// removed shard owned — every other key keeps its owner, so the surviving
+// shards' warm stores stay warm.
+func TestRingBoundedChurn(t *testing.T) {
+	var shards []string
+	for i := 0; i < 5; i++ {
+		shards = append(shards, fmt.Sprintf("http://shard%d:8321", i))
+	}
+	full, err := NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(5000)
+	for drop := 0; drop < len(shards); drop++ {
+		var rest []string
+		for i, s := range shards {
+			if i != drop {
+				rest = append(rest, s)
+			}
+		}
+		reduced, err := NewRing(rest, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved, owned := 0, 0
+		for _, k := range keys {
+			before := full.Owner(k)
+			if before == shards[drop] {
+				owned++
+				continue // must move; where is reduced's business
+			}
+			if after := reduced.Owner(k); after != before {
+				moved++
+				t.Errorf("key %q moved %s -> %s though its owner survived", k, before, after)
+			}
+		}
+		if moved > 0 {
+			t.Fatalf("dropping %s moved %d keys owned by other shards", shards[drop], moved)
+		}
+		// The removed shard's share should be in the ~K/N ballpark, not 0
+		// and not half the keyspace.
+		if owned < len(keys)/20 || owned > len(keys)/2 {
+			t.Fatalf("shard %s owned %d/%d keys — load badly skewed", shards[drop], owned, len(keys))
+		}
+	}
+}
+
+// TestRingPreferenceProperties: Prefer is a permutation prefix — distinct
+// shards, owner first, stable under n.
+func TestRingPreferenceProperties(t *testing.T) {
+	shards := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r, err := NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%d", rnd.Int63())
+		all := r.Prefer(k, 0)
+		if len(all) != len(shards) {
+			t.Fatalf("Prefer(%q, 0) returned %d shards, want %d", k, len(all), len(shards))
+		}
+		if all[0] != r.Owner(k) {
+			t.Fatalf("Prefer(%q)[0] = %q, owner = %q", k, all[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, s := range all {
+			if seen[s] {
+				t.Fatalf("Prefer(%q) repeats %q", k, s)
+			}
+			seen[s] = true
+		}
+		two := r.Prefer(k, 2)
+		if !reflect.DeepEqual(two, all[:2]) {
+			t.Fatalf("Prefer(%q, 2) = %v, want prefix %v", k, two, all[:2])
+		}
+	}
+}
+
+// TestRingLoadBalance: every shard owns a sane share of the keyspace. This
+// is the regression fence for vnode clustering — raw FNV-1a (no finisher)
+// collapses each shard's 64 sequentially-labelled vnodes into one tight
+// cluster, leaving the ring as N contiguous arcs whose sizes are luck; with
+// mixing, shares concentrate near 1/N.
+func TestRingLoadBalance(t *testing.T) {
+	keys := testKeys(10000)
+	for _, n := range []int{2, 3, 5} {
+		var shards []string
+		for i := 0; i < n; i++ {
+			shards = append(shards, fmt.Sprintf("http://shard%d:8321", i))
+		}
+		r, err := NewRing(shards, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int{}
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		for _, s := range shards {
+			share := float64(counts[s]) / float64(len(keys))
+			if share < 0.5/float64(n) || share > 2.0/float64(n) {
+				t.Errorf("%d shards: %s owns %.1f%% of keys, want near %.1f%%", n, s, 100*share, 100.0/float64(n))
+			}
+		}
+	}
+}
+
+// TestRingRejectsDegenerateInputs: empty sets and empty names are errors.
+func TestRingRejectsDegenerateInputs(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty shard set accepted")
+	}
+	if _, err := NewRing([]string{"http://a:1", ""}, 0); err == nil {
+		t.Fatal("empty shard name accepted")
+	}
+}

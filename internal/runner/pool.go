@@ -95,6 +95,23 @@ func (e *PartialError) Summary() string {
 	return fmt.Sprintf("%d finished, %d aborted", len(e.Finished), len(e.Aborted))
 }
 
+// JobFailure is the batch-level error of a run that completed but had at
+// least one job fail: the first failure in submission order, typed so
+// dispatch layers can distinguish "this job deterministically fails" (not
+// worth replaying on a sibling shard) from "the transport ate the batch"
+// (worth replaying). The scheduler and the HTTP client both return it.
+type JobFailure struct {
+	Index int    // index of the failing job in the submitted batch
+	Bench string // the job's benchmark, for log lines
+	Err   error  // the job's own error
+}
+
+func (e *JobFailure) Error() string {
+	return fmt.Sprintf("runner: job %d (%s): %v", e.Index, e.Bench, e.Err)
+}
+
+func (e *JobFailure) Unwrap() error { return e.Err }
+
 // Run executes the jobs and returns one Result per job, in submission order
 // — results[i] always corresponds to jobs[i], whatever the parallelism, so
 // a sweep's output is deterministic at any worker count. Identical jobs

@@ -34,10 +34,24 @@ type Batch struct {
 
 // BatchRunner runs a batch and returns one Result per job, in submission
 // order. It is the seam the figure runners program against: the in-process
-// Scheduler (and its Pool facade) and the HTTP client in internal/serve both
-// satisfy it, so a caller cannot tell which side of the wire it is on.
+// Scheduler (and its Pool facade), the HTTP client in internal/serve and the
+// sharded dispatcher in internal/fabric all satisfy it, so a caller cannot
+// tell which side of the wire — or how many shards — it is on.
 type BatchRunner interface {
 	RunBatch(ctx context.Context, b Batch) ([]Result, error)
+}
+
+// Subset returns a batch holding the jobs at the given indices (in that
+// order), inheriting the batch-level policy but not the callbacks — a
+// dispatcher re-homing part of a batch (shard placement, replay on a
+// sibling) installs its own callbacks to map sub-indices back to the
+// original submission.
+func (b Batch) Subset(indices []int) Batch {
+	jobs := make([]Job, len(indices))
+	for i, idx := range indices {
+		jobs[i] = b.Jobs[idx]
+	}
+	return Batch{Jobs: jobs, Priority: b.Priority, Parallelism: b.Parallelism}
 }
 
 // SchedulerOptions configures a Scheduler.
@@ -634,7 +648,7 @@ func (br *batchRun) finalError() error {
 	}
 	for i := range br.results {
 		if br.results[i].Err != nil {
-			return fmt.Errorf("runner: job %d (%s): %w", i, br.results[i].Job.Bench, br.results[i].Err)
+			return &JobFailure{Index: i, Bench: br.results[i].Job.Bench, Err: br.results[i].Err}
 		}
 	}
 	return nil

@@ -1,0 +1,62 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"rsepsim/internal/metrics"
+)
+
+// TestBatchSubset: Subset keeps scheduling knobs, drops the parent's
+// callbacks (the dispatcher installs its own index-remapping ones), and
+// preserves index order.
+func TestBatchSubset(t *testing.T) {
+	b := Batch{
+		Jobs:        []Job{stubJob(1), stubJob(2), stubJob(3), stubJob(4)},
+		Priority:    3,
+		Parallelism: 2,
+		OnProgress:  func(Progress) { t.Fatal("parent progress callback leaked into subset") },
+		OnSlice:     func(SliceProgress) { t.Fatal("parent slice callback leaked into subset") },
+	}
+	sub := b.Subset([]int{3, 1})
+	if len(sub.Jobs) != 2 || sub.Jobs[0].Seed != b.Jobs[3].Seed || sub.Jobs[1].Seed != b.Jobs[1].Seed {
+		t.Fatalf("subset jobs wrong: %+v", sub.Jobs)
+	}
+	if sub.Priority != 3 || sub.Parallelism != 2 {
+		t.Fatalf("subset lost scheduling knobs: %+v", sub)
+	}
+	if sub.OnProgress != nil || sub.OnSlice != nil {
+		t.Fatal("subset inherited parent callbacks")
+	}
+	if sub.Jobs[0].Config != b.Jobs[3].Config {
+		t.Fatal("subset copied configs instead of sharing them")
+	}
+}
+
+// TestJobFailureTyped: a batch that completes with a failing job reports a
+// *JobFailure carrying the index, bench and cause — the typed half of the
+// retryable-vs-deterministic split dispatch layers rely on.
+func TestJobFailureTyped(t *testing.T) {
+	boom := errors.New("boom")
+	sched := NewScheduler(SchedulerOptions{
+		Parallelism: 2,
+		Executor: func(ctx context.Context, j Job) (*metrics.Stats, error) {
+			if j.Seed == 2 {
+				return nil, boom
+			}
+			return &metrics.Stats{Cycles: uint64(j.Seed)}, nil
+		},
+	})
+	res, err := sched.RunBatch(context.Background(), Batch{Jobs: []Job{stubJob(1), stubJob(2), stubJob(3)}})
+	var jf *JobFailure
+	if !errors.As(err, &jf) {
+		t.Fatalf("want *JobFailure, got %T: %v", err, err)
+	}
+	if jf.Index != 1 || !errors.Is(jf, boom) {
+		t.Fatalf("failure misattributed: index %d, err %v", jf.Index, jf.Err)
+	}
+	if res[0].Stats == nil || res[2].Stats == nil {
+		t.Fatal("healthy jobs did not complete alongside the failure")
+	}
+}

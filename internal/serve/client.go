@@ -7,15 +7,46 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"net/url"
 	"strings"
 	"sync"
+	"time"
 
 	"rsepsim/internal/metrics"
 	"rsepsim/internal/runner"
 	"rsepsim/internal/store"
 )
+
+// NewTransport returns an http.Transport tuned for daemon traffic: explicit
+// dial, TLS and response-header timeouts so a dead or wedged daemon surfaces
+// as an error instead of a goroutine parked forever, and a connection pool
+// sized for a front-end fanning batches out across shards. There is no
+// whole-request timeout on purpose — batch streams legitimately run for
+// hours; per-phase timeouts plus the caller's context bound everything else.
+func NewTransport() *http.Transport {
+	return &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		TLSHandshakeTimeout: 5 * time.Second,
+		// A daemon answers request headers immediately (results stream after),
+		// so a long silence before headers means it is gone, not busy.
+		ResponseHeaderTimeout: 30 * time.Second,
+		ExpectContinueTimeout: 1 * time.Second,
+		MaxIdleConns:          128,
+		MaxIdleConnsPerHost:   32,
+		IdleConnTimeout:       90 * time.Second,
+		ForceAttemptHTTP2:     true,
+	}
+}
+
+// defaultHTTPClient is shared by every Client so the connection pool is: one
+// front-end talking to N shards reuses warm connections across batches
+// instead of redialing per client.
+var defaultHTTPClient = &http.Client{Transport: NewTransport()}
 
 // Client drives a remote rsepd daemon through the same interface the
 // in-process scheduler offers: it is a runner.BatchRunner, so experiment
@@ -33,8 +64,16 @@ var _ runner.BatchRunner = (*Client)(nil)
 
 // NewClient returns a client for the daemon at baseURL (e.g.
 // "http://localhost:8321"). The URL's scheme and host are validated here;
-// the daemon itself is not contacted until the first call.
+// the daemon itself is not contacted until the first call. All clients share
+// one pooled, timeout-hardened http.Client (see NewTransport).
 func NewClient(baseURL string) (*Client, error) {
+	return NewClientWith(baseURL, nil)
+}
+
+// NewClientWith is NewClient with an explicit http.Client — the seam the
+// fault-injection harness and custom deployments (mTLS, proxies) use. A nil
+// hc means the shared default.
+func NewClientWith(baseURL string, hc *http.Client) (*Client, error) {
 	u, err := url.Parse(baseURL)
 	if err != nil {
 		return nil, fmt.Errorf("serve: bad server URL: %w", err)
@@ -45,8 +84,14 @@ func NewClient(baseURL string) (*Client, error) {
 	if u.Host == "" {
 		return nil, fmt.Errorf("serve: server URL %q has no host", baseURL)
 	}
-	return &Client{base: u, hc: http.DefaultClient}, nil
+	if hc == nil {
+		hc = defaultHTTPClient
+	}
+	return &Client{base: u, hc: hc}, nil
 }
+
+// URL reports the daemon base URL the client was built with.
+func (c *Client) URL() string { return c.base.String() }
 
 func (c *Client) endpoint(path string) string {
 	u := *c.base
@@ -101,12 +146,14 @@ func (c *Client) RunBatch(ctx context.Context, b runner.Batch) ([]runner.Result,
 		}
 		var ev event
 		if err := json.Unmarshal(line, &ev); err != nil {
-			return c.seal(ctx, b, results, fmt.Errorf("serve: undecodable event: %w", err))
+			// Corruption mid-event: a proxy or a cut connection mangled the
+			// stream. Typed, so retry layers can classify it.
+			return c.seal(ctx, b, results, &StreamError{Resolved: done, Err: fmt.Errorf("undecodable event: %w", err)})
 		}
 		switch ev.Event {
 		case "result":
 			if ev.Index < 0 || ev.Index >= len(results) {
-				return c.seal(ctx, b, results, fmt.Errorf("serve: result index %d out of range", ev.Index))
+				return c.seal(ctx, b, results, &StreamError{Resolved: done, Err: fmt.Errorf("result index %d out of range", ev.Index)})
 			}
 			if ev.JobError != "" {
 				results[ev.Index].Err = errors.New(ev.JobError)
@@ -144,6 +191,14 @@ func (c *Client) RunBatch(ctx context.Context, b runner.Batch) ([]runner.Result,
 			case ev.Partial != nil:
 				return results, ev.Partial.partialError()
 			case ev.Error != "":
+				// The daemon's only non-partial batch error is the
+				// first-failure contract; rebuild it typed from the per-job
+				// errors the stream already delivered (same message bytes).
+				for i := range results {
+					if results[i].Err != nil {
+						return results, &runner.JobFailure{Index: i, Bench: results[i].Job.Bench, Err: results[i].Err}
+					}
+				}
 				return results, errors.New(ev.Error)
 			}
 			return results, nil
@@ -153,9 +208,9 @@ func (c *Client) RunBatch(ctx context.Context, b runner.Batch) ([]runner.Result,
 	// own cancellation or by the server going away.
 	err = sc.Err()
 	if err == nil {
-		err = errors.New("serve: stream ended before the final event")
+		err = errors.New("stream ended before the final event")
 	}
-	return c.seal(ctx, b, results, err)
+	return c.seal(ctx, b, results, &StreamError{Resolved: done, Err: err})
 }
 
 // seal converts a cut-off batch into local-equivalent results, preserving
@@ -166,10 +221,15 @@ func (c *Client) RunBatch(ctx context.Context, b runner.Batch) ([]runner.Result,
 //     in-process cancelled batch reports them;
 //   - every job resolved and only the final event was lost → the local
 //     success/first-failure contract applies;
-//   - otherwise (transport failure, server gone) → the plain transport
-//     error; unresolved jobs carry it, but the run is NOT a PartialError —
-//     locally that type means cancellation, and a connection refusal is not
-//     one.
+//   - the stream was cut or corrupted mid-batch (*StreamError) → a
+//     *runner.PartialError whose cause is the typed stream error: the remote
+//     run was effectively cancelled out from under us, finished jobs are real
+//     (their results are in the daemon's store) and only the aborted keys
+//     need replaying — which is exactly what the shard fabric does;
+//   - otherwise (the daemon never answered: dial refusal, header timeout) →
+//     the plain transport error; unresolved jobs carry it, but the run is
+//     NOT a PartialError — nothing was admitted, there is nothing partial
+//     about it.
 func (c *Client) seal(ctx context.Context, b runner.Batch, results []runner.Result, err error) ([]runner.Result, error) {
 	if ctx.Err() != nil {
 		cause := context.Cause(ctx)
@@ -216,7 +276,7 @@ func (c *Client) seal(ctx context.Context, b runner.Batch, results []runner.Resu
 		// Only the final event was lost; apply the local contract.
 		for i := range results {
 			if results[i].Err != nil {
-				return results, fmt.Errorf("runner: job %d (%s): %w", i, results[i].Job.Bench, results[i].Err)
+				return results, &runner.JobFailure{Index: i, Bench: results[i].Job.Bench, Err: results[i].Err}
 			}
 		}
 		return results, nil
@@ -224,6 +284,37 @@ func (c *Client) seal(ctx context.Context, b runner.Batch, results []runner.Resu
 	for i := range results {
 		if results[i].Stats == nil && results[i].Err == nil {
 			results[i].Err = err
+		}
+	}
+	var se *StreamError
+	if errors.As(err, &se) {
+		// The batch was admitted and then the stream died: report the
+		// finished/aborted split so callers replay exactly the remainder. A
+		// key counts as finished only if its stats actually arrived — a
+		// truncation can never demote finished work, nor promote unfinished.
+		completed := 0
+		var finished, aborted []runner.Key
+		seen := make(map[runner.Key]bool)
+		for i := range results {
+			if results[i].Stats != nil {
+				completed++
+			}
+			k := b.Jobs[i].Key()
+			if !seen[k] {
+				seen[k] = true
+				if results[i].Stats != nil {
+					finished = append(finished, k)
+				} else {
+					aborted = append(aborted, k)
+				}
+			}
+		}
+		return results, &runner.PartialError{
+			Done:     completed,
+			Total:    len(results),
+			Finished: finished,
+			Aborted:  aborted,
+			Err:      err,
 		}
 	}
 	return results, err

@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rsepsim/internal/fabric/faultinject"
+	"rsepsim/internal/runner"
+	"rsepsim/internal/store"
+)
+
+// serialDaemon is newDaemon with parallelism 1, so the result stream's event
+// order — and therefore where a byte-count truncation lands — is
+// deterministic. It also exposes the scheduler for drain assertions.
+func serialDaemon(t *testing.T) (string, *runner.Scheduler) {
+	t.Helper()
+	disk, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := runner.NewScheduler(runner.SchedulerOptions{
+		Parallelism: 1,
+		Store:       store.NewTiered(disk, false),
+	})
+	srv := NewServer(Options{Sched: sched, Disk: disk})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL, sched
+}
+
+// firstEventLen measures the byte length (including newline) of the first
+// result event a fresh daemon streams for the batch — simulation is
+// deterministic, so the same batch on another fresh serial daemon produces
+// a byte-identical stream prefix.
+func firstEventLen(t *testing.T, b runner.Batch) int {
+	t.Helper()
+	url, _ := serialDaemon(t)
+	body, err := json.Marshal(b.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/batches", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	line, err := bufio.NewReader(resp.Body).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) // let the daemon finish cleanly
+	return len(line)
+}
+
+func truncatedClient(t *testing.T, url string, after int64) *Client {
+	t.Helper()
+	cl, err := NewClientWith(url, &http.Client{Transport: &faultinject.Transport{
+		Base:   NewTransport(),
+		Match:  func(r *http.Request) bool { return strings.HasSuffix(r.URL.Path, "/v1/batches") },
+		Script: []faultinject.Fault{{TruncateAfter: after}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// TestStreamTruncationIsTypedPartial: a result stream cut mid-batch
+// surfaces as a *runner.PartialError wrapping a *StreamError, with the
+// finished/aborted key split exactly matching which stats actually arrived
+// — no finished key listed as aborted, no unfinished key promoted — and the
+// daemon-side scheduler drains (no leaked worker keeps simulating for a
+// reader that is gone).
+func TestStreamTruncationIsTypedPartial(t *testing.T) {
+	b := testBatch()
+	cut := firstEventLen(t, b) + 5 // one whole event, then mid-line
+
+	url, sched := serialDaemon(t)
+	cl := truncatedClient(t, url, int64(cut))
+	res, err := cl.RunBatch(t.Context(), b)
+
+	var pe *runner.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *runner.PartialError, got %T: %v", err, err)
+	}
+	var se *StreamError
+	if !errors.As(err, &se) {
+		t.Fatalf("partial error does not wrap *StreamError: %v", err)
+	}
+	if se.Resolved != 1 || pe.Done != 1 {
+		t.Fatalf("cut after one event, but Resolved=%d Done=%d", se.Resolved, pe.Done)
+	}
+
+	finished := map[runner.Key]bool{}
+	for _, k := range pe.Finished {
+		finished[k] = true
+	}
+	for _, k := range pe.Aborted {
+		if finished[k] {
+			t.Fatalf("key %+v listed both finished and aborted", k)
+		}
+	}
+	if len(finished)+len(pe.Aborted) != len(b.Jobs) { // testBatch keys are unique
+		t.Fatalf("key split covers %d keys, want %d", len(finished)+len(pe.Aborted), len(b.Jobs))
+	}
+	for i, r := range res {
+		if (r.Stats != nil) != finished[b.Jobs[i].Key()] {
+			t.Fatalf("job %d: stats presence disagrees with the finished list", i)
+		}
+		if r.Stats == nil && r.Err == nil {
+			t.Fatalf("job %d left unresolved", i)
+		}
+	}
+
+	// The truncating client tore the connection down; the daemon must notice
+	// and abort the batch rather than leak a worker.
+	deadline := time.Now().Add(5 * time.Second)
+	for sched.Status().Running != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("scheduler still running %d jobs after the client vanished", sched.Status().Running)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStreamCorruptionIsTyped: a stream carrying undecodable bytes
+// mid-batch surfaces the same typed shape — *runner.PartialError wrapping a
+// *StreamError — with every key whose stats never arrived listed aborted.
+func TestStreamCorruptionIsTyped(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"event":"result","index":0,"done":1,"total":4,"job_error":"boom"}`)
+		fmt.Fprintln(w, `{"event":"result","index":1,`) // a proxy mangled this line
+	}))
+	t.Cleanup(ts.Close)
+	cl, err := NewClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := testBatch()
+	res, err := cl.RunBatch(t.Context(), b)
+
+	var pe *runner.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *runner.PartialError, got %T: %v", err, err)
+	}
+	var se *StreamError
+	if !errors.As(err, &se) || !strings.Contains(se.Error(), "undecodable") {
+		t.Fatalf("want an undecodable-event *StreamError, got %v", err)
+	}
+	if len(pe.Finished) != 0 || len(pe.Aborted) != len(b.Jobs) {
+		t.Fatalf("nothing finished, yet split is %d finished / %d aborted", len(pe.Finished), len(pe.Aborted))
+	}
+	if res[0].Err == nil || res[0].Err.Error() != "boom" {
+		t.Fatalf("the decoded per-job error was lost: %v", res[0].Err)
+	}
+}
+
+// TestRetryableClassification: the typed retryable-vs-fatal split dispatch
+// layers replay on. Context causes and 4xx rejections are final; transport
+// loss, 5xx, 429 and stream cuts are worth a sibling.
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"canceled", context.Canceled, false},
+		{"deadline", context.DeadlineExceeded, false},
+		{"wrapped canceled", fmt.Errorf("run: %w", context.Canceled), false},
+		{"api 400", &APIError{Status: http.StatusBadRequest}, false},
+		{"api 404", &APIError{Status: http.StatusNotFound}, false},
+		{"api 429", &APIError{Status: http.StatusTooManyRequests}, true},
+		{"api 500", &APIError{Status: http.StatusInternalServerError}, true},
+		{"api 503", &APIError{Status: http.StatusServiceUnavailable}, true},
+		{"api no status", &APIError{}, true},
+		{"wrapped api 400", fmt.Errorf("serve: %w", &APIError{Status: 400}), false},
+		{"transport", errors.New("connection reset"), true},
+		{"stream cut", &StreamError{Resolved: 3, Err: io.ErrUnexpectedEOF}, true},
+		{"partial over stream cut", &runner.PartialError{Err: &StreamError{Err: io.ErrUnexpectedEOF}}, true},
+		{"partial over cancel", &runner.PartialError{Err: context.Canceled}, false},
+	}
+	for _, tc := range cases {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("%s: Retryable = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestStatusCarriesBuildInfo: /v1/status identifies the build and toolchain.
+func TestStatusCarriesBuildInfo(t *testing.T) {
+	cl, _, _ := newDaemon(t, nil)
+	st, err := cl.Status(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version == "" {
+		t.Fatal("status carries no version")
+	}
+	if !strings.HasPrefix(st.Go, "go") {
+		t.Fatalf("status Go = %q, want a toolchain version", st.Go)
+	}
+	if st.Fabric != nil {
+		t.Fatal("single-node daemon reports a fabric")
+	}
+}
+
+// TestStatusAndMetricsCarryFabric: a front-end daemon surfaces the shard
+// table on /v1/status and the dispatcher counters on /metrics.
+func TestStatusAndMetricsCarryFabric(t *testing.T) {
+	fs := &FabricStatus{
+		Shards: []ShardStatus{
+			{URL: "http://a:1", State: "up", Jobs: 7},
+			{URL: "http://b:1", State: "down", Failures: 3, LastError: "refused"},
+		},
+		Retries: 2, Hedges: 1, Evictions: 1, Readmissions: 0, LocalFallbacks: 1,
+	}
+	sched := runner.NewScheduler(runner.SchedulerOptions{Parallelism: 1})
+	srv := NewServer(Options{Sched: sched, Fabric: func() *FabricStatus { return fs }})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	cl, err := NewClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Status(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fabric == nil || len(st.Fabric.Shards) != 2 || st.Fabric.Shards[1].State != "down" {
+		t.Fatalf("status fabric table wrong: %+v", st.Fabric)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"rsepd_fabric_shards 2",
+		"rsepd_fabric_shards_up 1",
+		"rsepd_fabric_retries_total 2",
+		"rsepd_fabric_hedges_total 1",
+		"rsepd_fabric_evictions_total 1",
+		"rsepd_fabric_readmissions_total 0",
+		"rsepd_fabric_local_fallbacks_total 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}

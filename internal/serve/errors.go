@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -54,6 +56,63 @@ func writeError(w http.ResponseWriter, status int, code, message string) {
 	w.Header().Set("X-Content-Type-Options", "nosniff")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(errorEnvelope{Error: APIError{Code: code, Message: message}})
+}
+
+// StreamError reports a batch response stream that died mid-flight: the
+// daemon accepted the batch and started streaming, then the connection was
+// cut (truncation) or produced bytes that do not decode as events
+// (corruption) before the final "done" event arrived. Everything resolved
+// before the cut is real — those results were committed to the daemon's
+// store as they were produced — so the caller sees a *runner.PartialError
+// carrying a *StreamError as its cause, and a sharded front-end replays only
+// the unresolved jobs.
+type StreamError struct {
+	// Resolved counts the jobs whose "result" event arrived before the cut.
+	Resolved int
+	// Err is the underlying failure: a transport error, a decode error, or
+	// nil-equivalent sentinel text when the stream simply ended early.
+	Err error
+}
+
+func (e *StreamError) Error() string {
+	return fmt.Sprintf("serve: result stream cut after %d events: %v", e.Resolved, e.Err)
+}
+
+func (e *StreamError) Unwrap() error { return e.Err }
+
+// Retryable classifies an error from a daemon interaction for a caller that
+// can re-issue the work elsewhere (a sharded front-end, a retry loop): true
+// means the failure is plausibly the daemon's or the network's and a sibling
+// (or a later attempt) may succeed; false means retrying cannot help.
+//
+//   - context cancellation/deadline: not retryable — the caller gave up, the
+//     daemon did not fail.
+//   - *APIError: the daemon answered. 4xx means the request itself is bad
+//     (invalid spec, unknown id) and will be bad everywhere — fatal — except
+//     429, which is load shedding. 5xx is the daemon's problem: retryable.
+//   - *StreamError: the connection died mid-batch — retryable (finished jobs
+//     are already in the daemon's store; only the rest need replaying).
+//   - *runner.PartialError: the remote run was cut (daemon shutdown, stream
+//     loss) — the aborted remainder is retryable. Note the caller must check
+//     its own context first: a partial caused by the caller's cancellation is
+//     not an invitation to retry.
+//   - anything else (dial refusal, DNS, header timeout, EOF): transport —
+//     retryable.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		if ae.Status == http.StatusTooManyRequests {
+			return true
+		}
+		return ae.Status >= 500 || ae.Status == 0
+	}
+	return true
 }
 
 // decodeError turns a non-200 response into an *APIError. Responses that do

@@ -1,0 +1,56 @@
+// Package version carries the build identity stamped into the binaries.
+//
+// Release builds stamp it with the linker:
+//
+//	go build -ldflags "-X rsepsim/internal/version.Version=v1.4.0" ./cmd/rsepd
+//
+// Unstamped builds fall back to the VCS revision Go embeds in the build
+// info, so /v1/status identifies the exact commit a daemon runs even when
+// nobody remembered the ldflags.
+package version
+
+import "runtime/debug"
+
+// Version is the ldflags-stamped release identifier; "dev" when unstamped.
+var Version = "dev"
+
+// String reports the best build identity available: the stamped Version,
+// else "dev+<revision>" (with a "-dirty" suffix for modified trees), else
+// plain "dev".
+func String() string {
+	if Version != "dev" {
+		return Version
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return Version
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return Version
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		return "dev+" + rev + "-dirty"
+	}
+	return "dev+" + rev
+}
+
+// Go reports the toolchain that built the binary (empty if unknown).
+func Go() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		return bi.GoVersion
+	}
+	return ""
+}
