@@ -9,9 +9,17 @@
 //	go test -run XXX -bench 'BenchmarkPipeline' -benchtime 3x -count 5 . | benchjson -o BENCH_PIPELINE.json
 //	go test -bench . -benchtime 1x . | benchjson            # JSON on stdout
 //
+// The recorded commit defaults to `git rev-parse HEAD`, so a locally
+// regenerated file carries correct provenance without remembering -commit.
+//
 // With -gate it additionally compares allocs/op and B/op against a committed
 // baseline report and exits non-zero on a regression beyond -gate-tolerance
-// (default 5%); time is never gated because shared runners make it too noisy:
+// (default 5%); time is not gated by default because shared runners make it
+// too noisy, but -gate-time adds a deliberately generous ns/op gate (default
+// +25%, -gate-time-tolerance) that lets noise through while hard-failing
+// order-of-magnitude regressions. A gate whose baseline records a commit
+// that is not an ancestor of HEAD is refused outright — such a baseline
+// belongs to a different history and comparing against it proves nothing:
 //
 //	go test -run XXX -bench ... -benchmem . | benchjson -gate BENCH_PIPELINE.json > /dev/null
 package main
@@ -22,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"sort"
 	"strconv"
@@ -54,12 +63,43 @@ func median(v []float64) float64 {
 	return (v[n/2-1] + v[n/2]) / 2
 }
 
+// headCommit returns `git rev-parse HEAD`, or "" outside a work tree.
+func headCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// checkAncestry refuses a baseline whose recorded commit is definitively not
+// an ancestor of HEAD — it describes a different history, so gating against
+// it is meaningless (the provenance bug this replaces: a stale commit stamp
+// silently comparing against numbers from nowhere). Indeterminate cases (no
+// git, unstamped baseline, unknown hash on a shallow clone) warn and proceed.
+func checkAncestry(baseCommit string) error {
+	if baseCommit == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: warning: baseline records no commit; gating anyway")
+		return nil
+	}
+	err := exec.Command("git", "merge-base", "--is-ancestor", baseCommit, "HEAD").Run()
+	if err == nil {
+		return nil
+	}
+	if ee, ok := err.(*exec.ExitError); ok && ee.ExitCode() == 1 {
+		return fmt.Errorf("baseline commit %s is not an ancestor of HEAD; regenerate the baseline", baseCommit)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: warning: cannot verify baseline commit %s (%v); gating anyway\n", baseCommit, err)
+	return nil
+}
+
 // gate compares the fresh results against a committed baseline report and
 // returns the list of violations: any benchmark present in both whose
-// allocs/op or B/op grew by more than tol. Time is deliberately not gated —
-// shared CI runners make ns/op too noisy to fail a build on — but allocation
-// counts are deterministic, so they gate hard.
-func gate(fresh []result, baselinePath string, tol float64) ([]string, error) {
+// allocs/op or B/op grew by more than tol. Allocation counts are
+// deterministic, so they gate hard; ns/op gates only when timeTol > 0 —
+// generously, to catch order-of-magnitude regressions without tripping on
+// shared-runner noise.
+func gate(fresh []result, baselinePath string, tol, timeTol float64) ([]string, error) {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return nil, err
@@ -67,6 +107,9 @@ func gate(fresh []result, baselinePath string, tol float64) ([]string, error) {
 	var base report
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return nil, fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	if err := checkAncestry(base.Commit); err != nil {
+		return nil, err
 	}
 	byName := map[string]result{}
 	for _, b := range base.Benchmarks {
@@ -78,25 +121,33 @@ func gate(fresh []result, baselinePath string, tol float64) ([]string, error) {
 		if !ok {
 			continue // new benchmark: nothing to regress against
 		}
-		check := func(metric string, old, new float64) {
-			if old > 0 && new > old*(1+tol) {
+		check := func(metric string, old, new, limit float64) {
+			if old > 0 && new > old*(1+limit) {
 				bad = append(bad, fmt.Sprintf("%s: %s %.0f -> %.0f (+%.1f%%, limit +%.0f%%)",
-					r.Name, metric, old, new, (new/old-1)*100, tol*100))
+					r.Name, metric, old, new, (new/old-1)*100, limit*100))
 			}
 		}
-		check("allocs/op", b.AllocsPerOp, r.AllocsPerOp)
-		check("B/op", b.BytesPerOp, r.BytesPerOp)
+		check("allocs/op", b.AllocsPerOp, r.AllocsPerOp, tol)
+		check("B/op", b.BytesPerOp, r.BytesPerOp, tol)
+		if timeTol > 0 {
+			check("ns/op", b.NsPerOp, r.NsPerOp, timeTol)
+		}
 	}
 	return bad, nil
 }
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
-	commit := flag.String("commit", "", "commit hash to record")
+	commit := flag.String("commit", "", "commit hash to record (default: git rev-parse HEAD)")
 	gateFile := flag.String("gate", "", "baseline JSON to gate against: exit 1 if allocs/op or B/op regresses beyond -gate-tolerance")
 	gateTol := flag.Float64("gate-tolerance", 0.05, "fractional regression allowed by -gate")
+	gateTime := flag.Bool("gate-time", false, "with -gate, also gate ns/op (within -gate-time-tolerance)")
+	gateTimeTol := flag.Float64("gate-time-tolerance", 0.25, "fractional ns/op regression allowed by -gate-time")
 	flag.Parse()
 
+	if *commit == "" {
+		*commit = headCommit()
+	}
 	// benchjson runs with the same toolchain that ran the benchmarks.
 	rep := report{Commit: *commit, GoVersion: runtime.Version()}
 	type agg struct {
@@ -192,7 +243,11 @@ func main() {
 	}
 
 	if *gateFile != "" {
-		bad, err := gate(rep.Benchmarks, *gateFile, *gateTol)
+		timeTol := 0.0
+		if *gateTime {
+			timeTol = *gateTimeTol
+		}
+		bad, err := gate(rep.Benchmarks, *gateFile, *gateTol, timeTol)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson: gate:", err)
 			os.Exit(1)

@@ -32,9 +32,13 @@ import (
 )
 
 // FormatVersion identifies the container layout. Bump on any incompatible
-// change to the header or framing; component-level layout changes are caught
-// by the section tags and, failing that, the checksum.
-const FormatVersion uint32 = 1
+// change to the header or framing — or to the in-memory layout of a raw
+// POD struct/slice a checkpoint embeds; component-level layout changes are
+// caught by the section tags and, failing that, the checksum.
+//
+// Version history: 2 — metrics.Stats gained SkippedCycles and the pipeline's
+// dyn/hotState records moved renameReady between them.
+const FormatVersion uint32 = 2
 
 const magic = "RSEPCKPT"
 

@@ -61,6 +61,14 @@ type Stats struct {
 	// bit-identical to what a single longer run computes.
 	DRAMLatencySum uint64
 	AvgDRAMLatency float64
+
+	// SkippedCycles counts simulated cycles the core fast-forwarded over
+	// because every stage was provably quiescent (pipeline fast-forward,
+	// DESIGN.md §3.4). It is an operational counter — a measure of simulator
+	// efficiency, not an architectural result — so it is excluded from the
+	// JSON encoding: envelopes, goldens and figure tables stay byte-identical
+	// whether or not fast-forward ran.
+	SkippedCycles uint64 `json:"-"`
 }
 
 // Merge accumulates src into s. Counters add; AvgDRAMLatency is recomputed
@@ -106,6 +114,7 @@ func (s *Stats) Merge(src *Stats) {
 	s.L3Misses += src.L3Misses
 	s.DRAMReads += src.DRAMReads
 	s.DRAMLatencySum += src.DRAMLatencySum
+	s.SkippedCycles += src.SkippedCycles
 	if s.DRAMReads > 0 {
 		legacy := (oldReads > 0 && oldSum == 0) ||
 			(src.DRAMReads > 0 && src.DRAMLatencySum == 0)
@@ -160,6 +169,7 @@ func (s *Stats) Sub(o *Stats) Stats {
 	d.L3Misses -= o.L3Misses
 	d.DRAMReads -= o.DRAMReads
 	d.DRAMLatencySum -= o.DRAMLatencySum
+	d.SkippedCycles -= o.SkippedCycles
 	if d.DRAMReads > 0 {
 		d.AvgDRAMLatency = float64(d.DRAMLatencySum) / float64(d.DRAMReads)
 	} else {

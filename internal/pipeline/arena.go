@@ -32,7 +32,7 @@ func (c *Core) h(i uint32) *hotState { return &c.hot[i] }
 // blobs (predictor lookups, history checkpoints — see dyn) stay stale and are
 // rewritten in place before any guarded read, which keeps the per-instruction
 // clear to under a tenth of the record's footprint.
-func (c *Core) newDyn(in uarch.Inst) uint32 {
+func (c *Core) newDyn(in *uarch.Inst) uint32 {
 	var di uint32
 	if n := len(c.dynFree); n > 0 {
 		di = c.dynFree[n-1]
@@ -48,7 +48,7 @@ func (c *Core) newDyn(in uarch.Inst) uint32 {
 		di = uint32(len(c.darena) - 1)
 	}
 	d := &c.darena[di]
-	d.in = in
+	d.in = *in
 	d.archDest = -1
 	if in.HasDest() {
 		d.archDest = int(in.Dst)

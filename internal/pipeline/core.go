@@ -154,6 +154,11 @@ type Core struct {
 
 	committedTarget uint64
 
+	// noFF disables idle-cycle fast-forward (fastforward.go); the skip is
+	// bit-identical by construction, so this exists only for the
+	// differential tests and stepped-loop profiling.
+	noFF bool
+
 	// cancel, when non-nil, is polled periodically by Run; a closed channel
 	// makes Run return early with the simulation state intact.
 	cancel <-chan struct{}
@@ -183,6 +188,22 @@ func New(cfg *config.Config, src trace.Source) *Core {
 	// queue); squash-stranded records with pending events can still grow it.
 	c.darena = make([]dyn, 0, cfg.ROBSize+cfg.FetchQueue+64)
 	c.hot = make([]hotState, 0, cfg.ROBSize+cfg.FetchQueue+64)
+
+	// Carve every wake-wheel slot out of one backing array with a fixed
+	// per-slot capacity. Measured high-water occupancy (live plus stale refs
+	// accumulated over one wheel revolution) stays at or under 16 across the
+	// workload suite, so with this reserve the slots essentially never grow —
+	// without it the 1024 slices grow from nil with a months-long tail of
+	// high-water-mark appends that shows up as steady-state allocation in the
+	// pipeline benchmarks. The three-index slices keep appends beyond the
+	// reserve from bleeding into the next slot: an outlier reallocates its
+	// slot independently and keeps the larger capacity from then on.
+	const wakeSlotReserve = 16
+	wakeBacking := make([]wakeRef, wheelSize*wakeSlotReserve)
+	for i := range c.wakeSlots {
+		lo := i * wakeSlotReserve
+		c.wakeSlots[i] = wakeBacking[lo:lo:lo+wakeSlotReserve]
+	}
 
 	// Initial architectural mappings.
 	for a := 0; a < uarch.NumArchRegs; a++ {
@@ -299,7 +320,9 @@ func (c *Core) ResetStats() { c.stats = metrics.Stats{} }
 // within microseconds. A nil channel disables the check.
 func (c *Core) SetCancel(done <-chan struct{}) { c.cancel = done }
 
-// cancelPollMask: poll the cancel channel once per 4096 cycles.
+// cancelPollMask: poll the cancel channel once per 4096 loop iterations.
+// Iterations, not cycles: fast-forward makes cycle jumps arbitrary, so a
+// cycle-aligned poll could be skipped over indefinitely.
 const cancelPollMask = 1<<12 - 1
 
 // Run simulates until n more instructions commit, the source is exhausted,
@@ -309,8 +332,9 @@ func (c *Core) Run(n uint64) uint64 {
 	start := c.stats.Committed
 	c.committedTarget = start + n
 	idle := 0
+	iter := uint64(0)
 	for c.stats.Committed < c.committedTarget {
-		if c.cancel != nil && c.cycle&cancelPollMask == 0 {
+		if c.cancel != nil && iter&cancelPollMask == 0 {
 			select {
 			case <-c.cancel:
 				c.finishStats()
@@ -318,6 +342,7 @@ func (c *Core) Run(n uint64) uint64 {
 			default:
 			}
 		}
+		iter++
 		before := c.stats.Committed
 		c.step()
 		if c.stats.Committed == before {
@@ -327,6 +352,12 @@ func (c *Core) Run(n uint64) uint64 {
 			}
 			if idle > 1_000_000 {
 				panic(fmt.Sprintf("pipeline: deadlock — no commit in 1M cycles: %s", c.deadlockState()))
+			}
+			// A commitless cycle opens a stall; probe for a provably idle
+			// stretch and jump it (fastforward.go). Probing only here keeps
+			// the quiescence check entirely off the busy-cycle path.
+			if !c.noFF {
+				c.fastForward()
 			}
 		} else {
 			idle = 0

@@ -51,8 +51,6 @@ type dyn struct {
 // an in-place full rewrite before first read (see the dyn doc comment) — or
 // per-cycle scan state, which belongs in hotState instead.
 type dynHot struct {
-	renameReady uint64 // cycle at which the front end delivers it to rename
-
 	// Rename state.
 	dstPreg  regfile.PReg
 	oldPreg  regfile.PReg
@@ -94,7 +92,9 @@ type dynHot struct {
 
 // hotState is the per-instruction state the per-cycle scans touch — the
 // wakeup/ready-list machinery, the issue gate's store-queue search, the
-// load-queue violation scan and the retire check. It lives in a dense array
+// load-queue violation scan, the rename-delivery gate and the retire check
+// (the same fields the fast-forward quiescence probe reads, fastforward.go).
+// It lives in a dense array
 // parallel to the dyn arena (Core.hot, same indices) so those scans walk
 // contiguous 64-byte records instead of striding through the multi-cache-line
 // dyn records (DESIGN.md §3.3). seq and addrWord duplicate immutable
@@ -105,6 +105,7 @@ type hotState struct {
 	issueCycle  uint64
 	depStoreSeq uint64
 	addrWord    uint64 // in.Addr >> 3, for the LSQ scans
+	renameReady uint64 // cycle at which the front end delivers it to rename
 
 	// wakeToken invalidates stale wheel/waiter references after a squash
 	// or arena-slot reuse; wstate says where this record currently lives

@@ -1,0 +1,142 @@
+package pipeline
+
+import "math"
+
+// Idle-cycle fast-forward (DESIGN.md §3.4). During a long-latency stall — a
+// DRAM miss at the ROB head above all — step() runs every stage every cycle
+// only to find nothing to do. When every stage is provably quiescent, the
+// cycle is a no-op by construction: advancing the clock, the cycle counter
+// and (under commit sampling) one RNG draw is the *entire* observable effect.
+// Run therefore jumps the clock straight to the first cycle at which any
+// stage can make progress, replaying the skipped RNG draws so the shared
+// stream stays bit-identical to a stepped run.
+//
+// A cycle is skippable only when, checked in stage order:
+//
+//   - issue: the ready list and the validation-µop queue are empty (nothing
+//     can issue; drainWakes is covered by the event bound below);
+//   - commit: the ROB is empty or its head is not done — done implies
+//     readyAt ≤ cycle, so a done head retires, squashes on a violation or
+//     blocks on a validation µop (which means a non-empty valQ) this cycle;
+//   - fetch: blocked on a mispredict or the exhausted source (cleared only
+//     by events), a full fetch queue (cleared only by rename) or an icache
+//     refill, which bounds the jump at fetchResume;
+//   - rename: the fetch queue is empty, or its head is blocked by one of the
+//     pure pre-mutation checks — front-end delivery (bounds the jump at
+//     renameReady) or a full ROB/LQ/SQ, which only drain at commit. Any
+//     deeper progress into rename does real work (and the no-free-register /
+//     no-IQ-entry retries are not idempotent), so it is never skipped over;
+//   - events: no completion event or timed wake is due before the jump
+//     target; one due this cycle vetoes the skip entirely.
+//
+// Blocked conditions stay blocked across the skipped range because every
+// unblocking path runs through an event (completion, wake) or one of the
+// explicit bounds — the monotone-blocker property wakeup.go already relies
+// on. The deadlock backstop is preserved: with no pending event and no bound,
+// skipTarget refuses and Run steps (and eventually panics) exactly as before.
+
+// SetFastForward enables or disables idle-cycle fast-forward. It is enabled
+// on a fresh core; disabling it forces every cycle through step(), which is
+// useful only to demonstrate the equivalence (the differential tests) or to
+// profile the stepped loop.
+func (c *Core) SetFastForward(on bool) { c.noFF = !on }
+
+// fastForward jumps the clock over a provably idle stretch, if the current
+// cycle begins one. Called by Run before each step().
+func (c *Core) fastForward() {
+	target, ok := c.skipTarget()
+	if !ok {
+		return
+	}
+	skipped := target - c.cycle
+	if c.rsepCfg != nil && c.rsepCfg.Sampling {
+		// commit() draws the sampled commit slot every cycle under
+		// sampling, including cycles that retire nothing. Replay the
+		// skipped draws so every later draw matches a stepped run.
+		for i := uint64(0); i < skipped; i++ {
+			c.rng.Intn(c.cfg.CommitWidth)
+		}
+	}
+	c.cycle = target
+	c.stats.Cycles += skipped
+	c.stats.SkippedCycles += skipped
+}
+
+// skipTarget returns the first cycle at which some stage can make progress,
+// with ok=false when the current cycle is not provably a no-op (or no bound
+// exists — the deadlock case, left to the stepped loop).
+func (c *Core) skipTarget() (uint64, bool) {
+	// Issue-side activity. These two checks reject almost every active
+	// cycle, so they run first, off lengths alone.
+	if len(c.readyList) != 0 || len(c.valQ) != 0 {
+		return 0, false
+	}
+	// Commit: a done head makes progress of some kind this cycle.
+	if c.robHead < len(c.rob) && c.hot[c.rob[c.robHead]].done {
+		return 0, false
+	}
+	bound := uint64(math.MaxUint64)
+	// Fetch.
+	if !c.srcDone && c.fetchBlocked == noDyn && c.fqLen() < c.cfg.FetchQueue {
+		if c.fetchResume <= c.cycle {
+			return 0, false // fetch runs this cycle
+		}
+		bound = c.fetchResume
+	}
+	// Rename.
+	if c.fqLen() > 0 {
+		di := c.fetchQ[c.fqHead]
+		switch h := &c.hot[di]; {
+		case h.renameReady > c.cycle:
+			if h.renameReady < bound {
+				bound = h.renameReady
+			}
+		case c.robLen() >= c.cfg.ROBSize:
+			// Blocked until commit retires, which needs an event.
+		case c.darena[di].in.IsLoad() && len(c.lq) >= c.cfg.LQSize:
+		case c.darena[di].in.IsStore() && len(c.sq) >= c.cfg.SQSize:
+		default:
+			return 0, false // rename makes progress this cycle
+		}
+	}
+	// Events and timed wakes. One due this cycle vetoes the skip; the
+	// earliest future one caps it.
+	if at, ok := c.nextEventCycle(); ok && at < bound {
+		if at <= c.cycle {
+			return 0, false
+		}
+		bound = at
+	}
+	if bound == math.MaxUint64 {
+		return 0, false
+	}
+	return bound, true
+}
+
+// nextEventCycle returns the earliest cycle with a pending completion event
+// or timed wake, ok=false when none is pending anywhere. Both wheels hold
+// only entries within wheelSize cycles of now (older slots were drained, the
+// rest overflowed to the heaps), so a single outward slot scan — capped by
+// the heap minima — finds the earliest occupied slot. Stale wake references
+// still parked in a slot only shorten the answer, never extend it.
+func (c *Core) nextEventCycle() (uint64, bool) {
+	bound := uint64(math.MaxUint64)
+	ok := false
+	if len(c.evtHeap) > 0 {
+		bound, ok = c.evtHeap[0].at, true
+	}
+	if len(c.wakeHeap) > 0 && c.wakeHeap[0].at < bound {
+		bound, ok = c.wakeHeap[0].at, true
+	}
+	for off := uint64(0); off < wheelSize; off++ {
+		at := c.cycle + off
+		if at >= bound {
+			break
+		}
+		slot := at & wheelMask
+		if c.evtHead[slot] != noDyn || len(c.wakeSlots[slot]) != 0 {
+			return at, true
+		}
+	}
+	return bound, ok
+}

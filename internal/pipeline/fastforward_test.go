@@ -1,0 +1,167 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+
+	"rsepsim/internal/config"
+	"rsepsim/internal/rsep"
+	"rsepsim/internal/vpred"
+	"rsepsim/internal/workload"
+)
+
+// TestFastForwardEquivalence runs the golden-test configurations twice —
+// fast-forward disabled (every cycle through step()) and enabled — and
+// requires bit-identical statistics. This is the differential check backing
+// the §3.4 claim that a skipped stretch is a no-op by construction: any
+// quiescence condition that is not actually monotone, or a missed RNG replay
+// under commit sampling, diverges a counter here.
+func TestFastForwardEquivalence(t *testing.T) {
+	cases := []struct {
+		name  string
+		bench string
+		cfg   func() *config.Config
+	}{
+		// Baseline stalls on DRAM misses with an idle front end — the
+		// bread-and-butter skip. The realistic-RSEP run has commit
+		// sampling on, so it additionally exercises the RNG-draw replay.
+		// The ideal-RSEP + D-VTAGE run adds value-prediction squashes,
+		// whose stranded wheel entries the quiescence probe must respect.
+		{"mcf-baseline", "mcf", config.TableI},
+		{"hmmer-rsep-realistic", "hmmer", func() *config.Config { return config.TableI().WithRSEP(rsep.Realistic()) }},
+		{"mcf-rsep-vp", "mcf", func() *config.Config {
+			return config.TableI().WithRSEP(rsep.Ideal()).WithVP(vpred.BeBoP())
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(ff bool) (*Core, []byte) {
+				core := New(tc.cfg(), workload.New(workload.MustByName(tc.bench), 7))
+				core.SetFastForward(ff)
+				core.Run(20_000)
+				core.ResetStats()
+				core.Run(60_000)
+				var buf bytes.Buffer
+				if err := core.Stats().EncodeJSON(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return core, buf.Bytes()
+			}
+			stepped, steppedJSON := run(false)
+			jumped, jumpedJSON := run(true)
+
+			if got, want := jumped.Stats().Cycles, stepped.Stats().Cycles; got != want {
+				t.Errorf("cycle count diverges: fast-forward %d, stepped %d", got, want)
+			}
+			if !bytes.Equal(jumpedJSON, steppedJSON) {
+				t.Errorf("stats diverge\n ff:      %s\n stepped: %s", jumpedJSON, steppedJSON)
+			}
+			// The skip must actually engage for the differential run to
+			// prove anything — and must never fire when disabled.
+			if jumped.Stats().SkippedCycles == 0 {
+				t.Error("fast-forward run skipped no cycles; differential test is vacuous")
+			}
+			if n := stepped.Stats().SkippedCycles; n != 0 {
+				t.Errorf("stepped run reports %d skipped cycles; want 0", n)
+			}
+		})
+	}
+}
+
+// TestNextEventCycle drives the quiescence probe's wheel scan directly:
+// occupancy is read straight off the slot heads, so poking entries into the
+// wheels (without full dyn records) exercises every branch — empty, in-window
+// slots, wraparound past slot zero, overflow-heap bounds and cross-structure
+// minimum selection.
+func TestNextEventCycle(t *testing.T) {
+	newCore := func() *Core {
+		return New(config.TableI(), workload.New(workload.MustByName("mcf"), 1))
+	}
+	expect := func(t *testing.T, c *Core, wantAt uint64, wantOK bool) {
+		t.Helper()
+		at, ok := c.nextEventCycle()
+		if ok != wantOK || (ok && at != wantAt) {
+			t.Errorf("nextEventCycle() = (%d, %v), want (%d, %v)", at, ok, wantAt, wantOK)
+		}
+	}
+
+	t.Run("empty", func(t *testing.T) {
+		expect(t, newCore(), 0, false)
+	})
+
+	t.Run("event-wheel-slot", func(t *testing.T) {
+		c := newCore()
+		c.cycle = 100
+		c.evtHead[(c.cycle+5)&wheelMask] = 0
+		expect(t, c, c.cycle+5, true)
+	})
+
+	t.Run("wake-wheel-slot", func(t *testing.T) {
+		c := newCore()
+		c.cycle = 100
+		slot := (c.cycle + 3) & wheelMask
+		c.wakeSlots[slot] = append(c.wakeSlots[slot], wakeRef{0, 1})
+		expect(t, c, c.cycle+3, true)
+	})
+
+	t.Run("current-cycle-occupied", func(t *testing.T) {
+		// An event due *now* must be reported as due now (the skip-veto
+		// case), not pushed a revolution out.
+		c := newCore()
+		c.cycle = 777
+		c.evtHead[c.cycle&wheelMask] = 0
+		expect(t, c, c.cycle, true)
+	})
+
+	t.Run("wraparound", func(t *testing.T) {
+		// From cycle wheelSize-2, an entry at wheelSize+1 lives in slot 1:
+		// the outward scan must wrap past slot zero to find it.
+		c := newCore()
+		c.cycle = wheelSize - 2
+		at := uint64(wheelSize + 1)
+		c.wakeSlots[at&wheelMask] = append(c.wakeSlots[at&wheelMask], wakeRef{0, 1})
+		expect(t, c, at, true)
+	})
+
+	t.Run("event-heap-only", func(t *testing.T) {
+		c := newCore()
+		c.cycle = 50
+		at := c.cycle + wheelSize + 400
+		c.evtHeapPush(evtHeapEnt{at: at, di: 0})
+		expect(t, c, at, true)
+	})
+
+	t.Run("wake-heap-only", func(t *testing.T) {
+		c := newCore()
+		c.cycle = 50
+		at := c.cycle + wheelSize + 200
+		c.wakeHeapPush(wakeHeapEnt{at: at, ref: wakeRef{0, 1}})
+		expect(t, c, at, true)
+	})
+
+	t.Run("wheel-beats-heap", func(t *testing.T) {
+		c := newCore()
+		c.cycle = 200
+		c.evtHeapPush(evtHeapEnt{at: c.cycle + wheelSize + 50, di: 0})
+		c.evtHead[(c.cycle+7)&wheelMask] = 0
+		expect(t, c, c.cycle+7, true)
+	})
+
+	t.Run("heap-beats-wheel", func(t *testing.T) {
+		// The heap minimum caps the slot scan: a nearer heap entry wins
+		// over a farther wheel entry without scanning the whole wheel.
+		c := newCore()
+		c.cycle = 200
+		c.evtHeapPush(evtHeapEnt{at: c.cycle + 5, di: 0})
+		c.evtHead[(c.cycle+9)&wheelMask] = 0
+		expect(t, c, c.cycle+5, true)
+	})
+
+	t.Run("wake-heap-beats-event-heap", func(t *testing.T) {
+		c := newCore()
+		c.cycle = 10
+		c.evtHeapPush(evtHeapEnt{at: c.cycle + wheelSize + 900, di: 0})
+		c.wakeHeapPush(wakeHeapEnt{at: c.cycle + wheelSize + 100, ref: wakeRef{0, 1}})
+		expect(t, c, c.cycle+wheelSize+100, true)
+	})
+}

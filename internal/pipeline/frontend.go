@@ -15,82 +15,102 @@ import (
 // penalty (the same wall-clock the wrong path would waste), which is the
 // standard trace-driven approximation.
 func (c *Core) fetch() {
-	if c.srcDone || c.fetchBlocked != noDyn || c.cycle < c.fetchResume {
+	if c.srcDone || c.fetchBlocked != noDyn || c.cycle < c.fetchResume ||
+		c.fqLen() >= c.cfg.FetchQueue {
 		return
 	}
 	taken := 0
-	for i := 0; i < c.cfg.FetchWidth; i++ {
-		if c.fqLen() >= c.cfg.FetchQueue {
-			return
-		}
-		inp, ok := c.src.Peek()
-		if !ok {
+	budget := c.cfg.FetchWidth
+	for budget > 0 {
+		// Decode a whole fetch group out of the replay ring per call
+		// instead of a Peek/Advance round trip per instruction. A short
+		// window only means the run wrapped the ring; an empty one means
+		// the source is exhausted (Window refills exactly when Peek would).
+		win := c.src.Window(budget)
+		if len(win) == 0 {
 			c.srcDone = true
 			return
 		}
-		in := *inp
-
-		// Instruction cache, per line.
-		line := in.PC >> 6
-		if line != c.lastLine {
-			c.lastLine = line
-			extra := c.itlb.Lookup(in.PC)
-			ready := c.l1i.Access(in.PC, c.cycle+extra, false, false)
-			if ready > c.cycle+c.cfg.L1ILatency+extra {
-				// Miss: this line arrives later; the un-advanced peek
-				// leaves the instruction pending — re-fetch then.
-				c.lastLine = 0
-				c.fetchResume = ready
-				return
+		consumed := 0
+		stop := false
+		for i := range win {
+			if c.fqLen() >= c.cfg.FetchQueue {
+				stop = true
+				break
 			}
-		}
-		c.src.Advance()
+			in := &win[i]
 
-		di := c.newDyn(in)
-		d := c.d(di)
-		d.renameReady = c.cycle + uint64(c.cfg.FrontendDepth)
+			// Instruction cache, per line.
+			line := in.PC >> 6
+			if line != c.lastLine {
+				c.lastLine = line
+				extra := c.itlb.Lookup(in.PC)
+				ready := c.l1i.Access(in.PC, c.cycle+extra, false, false)
+				if ready > c.cycle+c.cfg.L1ILatency+extra {
+					// Miss: this line arrives later; the unconsumed
+					// instruction stays pending — re-fetch then.
+					c.lastLine = 0
+					c.fetchResume = ready
+					stop = true
+					break
+				}
+			}
+			consumed++
 
-		if in.IsBranch() {
-			c.fetchBranch(d)
+			di := c.newDyn(in)
+			d := c.d(di)
+			c.h(di).renameReady = c.cycle + uint64(c.cfg.FrontendDepth)
+
+			if in.IsBranch() {
+				c.fetchBranch(d)
+				c.fetchQ = append(c.fetchQ, di)
+				if d.brMispred {
+					c.fetchBlocked = di
+					stop = true
+					break
+				}
+				if d.brPred.Taken {
+					if !d.brPred.TargetHit && in.BrKind != uarch.BrCond {
+						// BTB miss on a taken branch: the target is
+						// produced at decode — bubble.
+						c.fetchResume = c.cycle + uint64(c.cfg.BTBMissPenalty)
+						stop = true
+						break
+					}
+					taken++
+					if taken > c.cfg.TakenPerFetch {
+						stop = true
+						break
+					}
+				}
+				continue
+			}
+
+			// Non-branch: perform the mechanism lookups at fetch time, when
+			// the speculative global history is exactly the hardware's. The
+			// lookups write straight into the arena record (cold-blob
+			// discipline, see dyn): prediction state is born where it lives.
+			if in.HasDest() {
+				if c.distPred != nil {
+					c.distPred.LookupInto(&d.distLk, in.PC, c.distHist)
+					d.distLkValid = true
+				}
+				if c.zp != nil {
+					d.zeroLk = c.zp.Lookup(in.PC)
+					d.zeroLkValid = true
+				}
+				if c.vp != nil {
+					c.vp.LookupInto(&d.vpLk, in.PC, c.vpHist)
+					d.vpLkValid = true
+				}
+			}
 			c.fetchQ = append(c.fetchQ, di)
-			if d.brMispred {
-				c.fetchBlocked = di
-				return
-			}
-			if d.brPred.Taken {
-				if !d.brPred.TargetHit && in.BrKind != uarch.BrCond {
-					// BTB miss on a taken branch: the target is
-					// produced at decode — bubble.
-					c.fetchResume = c.cycle + uint64(c.cfg.BTBMissPenalty)
-					return
-				}
-				taken++
-				if taken > c.cfg.TakenPerFetch {
-					return
-				}
-			}
-			continue
 		}
-
-		// Non-branch: perform the mechanism lookups at fetch time, when
-		// the speculative global history is exactly the hardware's. The
-		// lookups write straight into the arena record (cold-blob
-		// discipline, see dyn): prediction state is born where it lives.
-		if in.HasDest() {
-			if c.distPred != nil {
-				c.distPred.LookupInto(&d.distLk, in.PC, c.distHist)
-				d.distLkValid = true
-			}
-			if c.zp != nil {
-				d.zeroLk = c.zp.Lookup(in.PC)
-				d.zeroLkValid = true
-			}
-			if c.vp != nil {
-				c.vp.LookupInto(&d.vpLk, in.PC, c.vpHist)
-				d.vpLkValid = true
-			}
+		c.src.AdvanceN(consumed)
+		if stop {
+			return
 		}
-		c.fetchQ = append(c.fetchQ, di)
+		budget -= consumed
 	}
 }
 

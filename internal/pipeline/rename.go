@@ -13,13 +13,15 @@ func (c *Core) rename() {
 	width := c.cfg.RenameWidth
 	for n := 0; n < width && c.fqLen() > 0; n++ {
 		di := c.fetchQ[c.fqHead]
-		d := c.d(di)
-		if d.renameReady > c.cycle {
+		// Delivery gate first, off hotState alone: a front-end bubble stalls
+		// rename without ever touching the multi-cache-line dyn record.
+		if c.h(di).renameReady > c.cycle {
 			return
 		}
 		if c.robLen() >= c.cfg.ROBSize {
 			return
 		}
+		d := c.d(di)
 		in := &d.in
 		if in.IsLoad() && len(c.lq) >= c.cfg.LQSize {
 			return

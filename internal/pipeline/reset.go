@@ -31,6 +31,7 @@ func (c *Core) ResetFor(cfg *config.Config, src trace.Source) bool {
 	c.stats = metrics.Stats{}
 	c.cycle = 0
 	c.committedTarget = 0
+	c.noFF = false
 	c.cancel = nil
 
 	// The RNG is shared by every predictor that tie-breaks allocations;

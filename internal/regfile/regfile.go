@@ -55,6 +55,18 @@ func NewFile(nInt, nFP int) *File {
 		waiters: make([][]uint64, total),
 		fpStart: PReg(1 + nInt),
 	}
+	// Give every waiter list a small reserve carved from one backing array:
+	// consumer bursts on a single in-flight register rarely exceed a handful,
+	// and pre-sizing here keeps AddWaiter allocation-free in steady state
+	// instead of growing each register's list from nil on first use. The
+	// three-index slices isolate the rare overflow: an outlier list
+	// reallocates on its own and keeps the larger capacity.
+	const waiterReserve = 8
+	backing := make([]uint64, total*waiterReserve)
+	for i := range f.waiters {
+		lo := i * waiterReserve
+		f.waiters[i] = backing[lo : lo : lo+waiterReserve]
+	}
 	f.alloc[0] = true // zero register
 	for i := nInt; i >= 1; i-- {
 		f.intFree = append(f.intFree, PReg(i))

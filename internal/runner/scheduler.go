@@ -96,6 +96,7 @@ type Scheduler struct {
 	sims          uint64
 	slicesRun     uint64
 	slicesResumed uint64
+	cyclesSkipped uint64
 }
 
 // NewScheduler returns an idle scheduler.
@@ -140,6 +141,11 @@ type Status struct {
 	// aligned earlier run already paid for).
 	SlicesRun     uint64
 	SlicesResumed uint64
+	// CyclesSkipped counts simulated cycles the cores fast-forwarded over
+	// (quiescent-stretch skipping, pipeline fast-forward) across successful
+	// runs — the production observability knob for how much wall clock the
+	// optimisation is saving.
+	CyclesSkipped uint64
 }
 
 // Status reports scheduler-level counters and gauges.
@@ -155,6 +161,7 @@ func (s *Scheduler) Status() Status {
 		Simulations:   s.sims,
 		SlicesRun:     s.slicesRun,
 		SlicesResumed: s.slicesResumed,
+		CyclesSkipped: s.cyclesSkipped,
 	}
 }
 
@@ -440,6 +447,9 @@ func (s *Scheduler) worker() {
 		s.mu.Lock()
 		s.running--
 		s.sims++ // every executor run counts, failed ones included
+		if st != nil {
+			s.cyclesSkipped += st.SkippedCycles
+		}
 		s.mu.Unlock()
 		s.completeFlight(it, st, err)
 	}

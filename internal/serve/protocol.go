@@ -74,6 +74,10 @@ type StatusResponse struct {
 	Simulations   uint64 `json:"simulations"`
 	SlicesRun     uint64 `json:"slices_run"`
 	SlicesResumed uint64 `json:"slices_resumed"`
+	// CyclesSkipped is the cumulative count of simulated cycles the cores
+	// fast-forwarded over (DESIGN §3.4) — how much per-cycle work the
+	// quiescence optimisation is saving in production.
+	CyclesSkipped uint64 `json:"cycles_skipped"`
 
 	Store runner.Counters `json:"store"`
 

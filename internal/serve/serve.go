@@ -291,6 +291,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Simulations:   st.Simulations,
 		SlicesRun:     st.SlicesRun,
 		SlicesResumed: st.SlicesResumed,
+		CyclesSkipped: st.CyclesSkipped,
 		Store:         s.opt.Sched.Results().Counters(),
 	}
 	if s.opt.Fabric != nil {
@@ -334,6 +335,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"rsepd_simulations_total", "Simulations executed (jobs the store did not absorb).", "counter", st.Simulations},
 		{"rsepd_slices_run_total", "Slices of sliced jobs that simulated.", "counter", st.SlicesRun},
 		{"rsepd_slices_resumed_total", "Slices answered from stored per-slice results.", "counter", st.SlicesResumed},
+		{"rsepd_sim_cycles_skipped_total", "Simulated cycles fast-forwarded over by quiescent cores.", "counter", st.CyclesSkipped},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.typ, m.name, m.value)
 	}

@@ -143,6 +143,36 @@ func (r *Replay) Peek() (*uarch.Inst, bool) {
 // Advance consumes the instruction last returned by Peek.
 func (r *Replay) Advance() { r.pos++ }
 
+// Window returns the next instructions to deliver — up to max — without
+// consuming them, refilling from the source exactly when Peek would (only
+// when nothing is buffered). The slice aliases the ring, so it is valid only
+// until the next call that refills or grows (Window, Peek, Next); consume a
+// prefix with AdvanceN before asking for more.
+//
+// The result can be shorter than both max and the buffered count when the
+// run wraps the ring boundary; an empty result means the source is exhausted.
+// Callers wanting max instructions loop: process, AdvanceN, Window again.
+func (r *Replay) Window(max int) []uarch.Inst {
+	if r.pos == r.size {
+		r.refill()
+		if r.pos == r.size {
+			return nil
+		}
+	}
+	if avail := r.size - r.pos; max > avail {
+		max = avail
+	}
+	start := int((r.head + uint64(r.pos)) & uint64(len(r.ring)-1))
+	if rest := len(r.ring) - start; max > rest {
+		max = rest
+	}
+	return r.ring[start : start+max]
+}
+
+// AdvanceN consumes the first n instructions of the slice last returned by
+// Window.
+func (r *Replay) AdvanceN(n int) { r.pos += n }
+
 // RewindTo makes seq the next instruction delivered by Next. seq must still
 // be retained (not yet released).
 func (r *Replay) RewindTo(seq uint64) {
