@@ -26,9 +26,11 @@ const (
 	btbWays       = 2
 )
 
+// Field order matters: tag first packs the entry into 8 bytes (int8 first
+// would pad it to 12), a third off every probe's footprint.
 type tageEntry struct {
-	ctr   int8 // signed 3-bit (-4..3)
 	tag   uint32
+	ctr   int8 // signed 3-bit (-4..3)
 	u     uint8
 	valid bool
 }

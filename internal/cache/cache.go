@@ -7,7 +7,15 @@
 // data is available. Lines carry a fill time so that requests arriving while
 // a miss is outstanding merge with it (MSHR behaviour) instead of hitting
 // instantaneously.
+//
+// The miss path is scan-free (DESIGN.md §3.5): a counting presence filter
+// proves absence without walking the set's tags, a per-set fill count makes
+// victim selection O(1) until a set is full, and outstanding misses live in a
+// ring ordered by fill time so retirement advances a head index and the
+// MSHR-full earliest-fill query reads the head — neither walks the set.
 package cache
+
+import "rsepsim/internal/dram"
 
 const (
 	// LineBytes is the cache line size used throughout the hierarchy.
@@ -32,32 +40,90 @@ type Config struct {
 	Prefetch Prefetcher // optional
 }
 
-type line struct {
-	fillTime uint64 // cycle at which the line's data arrived
-	prefetch bool   // brought in by the prefetcher and not yet demanded
+// pfBit marks a line as prefetched-and-not-yet-demanded inside its packed
+// line record: bit 63 of the fill time, which no reachable cycle count ever
+// sets. Packing halves the per-line metadata (8 bytes instead of a padded
+// 16-byte struct), so the hit path touches half the memory.
+const pfBit = uint64(1) << 63
+
+// mshrEnt is one outstanding miss. The live set is kept as a ring sorted by
+// (fill, seq): fills are issued with mostly increasing fill times, so
+// insertion is an append in the common case, retirement just advances the
+// head index, and the MSHR-full path reads the earliest fill at the head.
+// With Table I's small MSHR counts that beats a binary heap, whose sift
+// swaps dominate at this size. seq records insertion order, which the
+// checkpoint writer needs (see ckpt.go).
+type mshrEnt struct {
+	fill uint64
+	addr uint64 // line address
+	seq  uint64
+}
+
+// mruEnt is one set's MRU hint: the most recently hitting way and its tag key
+// in one aligned 16-byte record (a single cache-line touch on the hit path).
+type mruEnt struct {
+	key uint64
+	way uint32
+	_   uint32
 }
 
 // Cache is one level of the hierarchy.
 type Cache struct {
-	cfg   Config
-	lines []line // flat set-major storage: set s occupies lines[s*ways : (s+1)*ways]
+	cfg Config
+	// lines holds each way's packed record — the fill cycle with pfBit folded
+	// into bit 63 — in flat set-major order: set s occupies
+	// lines[s*ways : (s+1)*ways].
+	lines []uint64
 	// tags holds lineAddr<<1|1 per way (0 = invalid) and lru the last-touch
-	// tick, both parallel to lines. The hit scan walks tags and the victim
-	// scan walks lru — each a dense array where a whole set spans one or two
-	// cache lines — instead of striding the fatter line records.
-	tags    []uint64
-	lru     []uint64
-	mru     []uint32 // per-set way hint: the way that hit most recently
+	// tick, both parallel to lines. A hit not caught by the MRU hint scans
+	// tags; a miss is proven by the presence filter in one array read.
+	tags []uint64
+	lru  []uint64
+	mru  []uint32 // per-set way hint: the way that hit most recently
+	// mruHint mirrors mru with the hinted way's tag key folded in, so the
+	// MRU fast path is one 16-byte probe instead of dependent loads from mru
+	// and tags. Invariant: mruHint[s].key == tags[s*ways+mruHint[s].way] at
+	// all times (every fill and scan hit update both; keys are nonzero, so a
+	// zero hint never matches). Derived state: rebuilt on Load, not saved.
+	mruHint []mruEnt
 	ways    int
 	nsets   uint64
 	setMask uint64 // nsets-1 when nsets is a power of two, else 0
 	filled  int    // valid lines; lines never invalidate, so once full the
 	// victim scan skips straight to LRU selection
-	next Backend
-	// Outstanding misses as parallel arrays (line address / fill time).
-	mshrAddr []uint64
-	mshrFill []uint64
-	mshrMin  uint64 // earliest outstanding fillTime; purge is a no-op before it
+	// setFilled counts the valid ways per set. Fills always claim the first
+	// invalid way and lines never invalidate, so the valid ways of a set are
+	// the prefix [0, setFilled[s]) and the next victim in a non-full set is
+	// simply way setFilled[s] — no invalid-way scan.
+	setFilled []uint16
+	// filter is a counting presence filter over hashed line addresses: a
+	// zero slot proves the line is resident nowhere in this level, so a miss
+	// costs one array read instead of a tag scan. Counters saturate sticky
+	// at 255 (a saturated slot is never decremented again), which can only
+	// create false positives — the tag scan then resolves them — never
+	// false absence.
+	filter      []uint8
+	filterShift uint8
+
+	// Devirtualized next level: New recognises the two concrete Table I
+	// backends so the L1D→L2→L3→DRAM miss chain is direct calls; any other
+	// Backend (tests, exotic configs) falls back to interface dispatch.
+	next      Backend
+	nextCache *Cache
+	nextMem   *dram.Memory
+
+	// Concrete prefetcher dispatch, same idea as the next-level pointers.
+	pfStride *StridePrefetcher
+	pfStream *StreamPrefetcher
+
+	// Outstanding misses: a ring sorted by fill time (mshrEnt docs above).
+	// Live entries are mshr[mshrHead:]; retirement advances mshrHead and the
+	// dead prefix is reclaimed when an insertion would otherwise grow the
+	// backing array.
+	mshr     []mshrEnt
+	mshrHead int
+	mshrSeq  uint64
+	mshrMin  uint64 // earliest outstanding fill; purge is a no-op before it
 	tick     uint64
 
 	// Stats
@@ -67,7 +133,14 @@ type Cache struct {
 // New builds a cache level in front of next.
 func New(cfg Config, next Backend) *Cache {
 	nsets := cfg.SizeKB * 1024 / LineBytes / cfg.Ways
-	c := &Cache{cfg: cfg, ways: cfg.Ways, nsets: uint64(nsets), next: next}
+	c := &Cache{cfg: cfg, ways: cfg.Ways, nsets: uint64(nsets)}
+	c.setNext(next)
+	switch pf := cfg.Prefetch.(type) {
+	case *StridePrefetcher:
+		c.pfStride = pf
+	case *StreamPrefetcher:
+		c.pfStream = pf
+	}
 	// All Table I geometries have power-of-two set counts, so the hot-path
 	// set index is a mask instead of a modulo; setIndex falls back to the
 	// division for exotic configurations.
@@ -77,11 +150,49 @@ func New(cfg Config, next Backend) *Cache {
 	// One flat set-major array instead of a slice per set: a single
 	// allocation (an L3 has thousands of sets) and no pointer hop between
 	// the set index and the ways.
-	c.lines = make([]line, nsets*cfg.Ways)
+	c.lines = make([]uint64, nsets*cfg.Ways)
 	c.tags = make([]uint64, nsets*cfg.Ways)
 	c.lru = make([]uint64, nsets*cfg.Ways)
 	c.mru = make([]uint32, nsets)
+	c.mruHint = make([]mruEnt, nsets)
+	c.setFilled = make([]uint16, nsets)
+	// Filter sized to at least twice the line count so live counts stay in
+	// the low single digits and saturation never fires in practice.
+	fbits := 6
+	for 1<<fbits < 2*len(c.lines) {
+		fbits++
+	}
+	c.filter = make([]uint8, 1<<fbits)
+	c.filterShift = uint8(64 - fbits)
+	if cfg.MSHRs > 0 {
+		// 4x slack so reclaiming the retired prefix amortizes: with capacity
+		// exactly MSHRs every push past the first wrap would compact.
+		c.mshr = make([]mshrEnt, 0, 4*cfg.MSHRs)
+	}
 	return c
+}
+
+// setNext installs the next level, devirtualizing the two concrete backends.
+func (c *Cache) setNext(next Backend) {
+	c.next, c.nextCache, c.nextMem = next, nil, nil
+	switch n := next.(type) {
+	case *Cache:
+		c.nextCache = n
+	case *dram.Memory:
+		c.nextMem = n
+	}
+}
+
+// fillFrom serves a miss from the next level through the concrete pointer
+// when one is known, so the hot chain is direct calls instead of itab hops.
+func (c *Cache) fillFrom(addr uint64, cycle uint64, write, prefetch bool) uint64 {
+	if c.nextCache != nil {
+		return c.nextCache.Access(addr, cycle, write, prefetch)
+	}
+	if c.nextMem != nil {
+		return c.nextMem.Access(addr, cycle, write, prefetch)
+	}
+	return c.next.Access(addr, cycle, write, prefetch)
 }
 
 // Reset clears all cached state and statistics in place, reusing the line
@@ -91,9 +202,13 @@ func (c *Cache) Reset() {
 	clear(c.tags)
 	clear(c.lru)
 	clear(c.mru)
+	clear(c.mruHint)
+	clear(c.setFilled)
+	clear(c.filter)
 	c.filled = 0
-	c.mshrAddr = c.mshrAddr[:0]
-	c.mshrFill = c.mshrFill[:0]
+	c.mshr = c.mshr[:0]
+	c.mshrHead = 0
+	c.mshrSeq = 0
 	c.mshrMin = 0
 	c.tick = 0
 	c.Accesses, c.Misses, c.PrefetchIssued, c.PrefetchUseful, c.MSHRStalls = 0, 0, 0, 0, 0
@@ -109,6 +224,27 @@ func (c *Cache) setIndex(lineAddr uint64) uint64 {
 	return lineAddr % c.nsets
 }
 
+// filterSlot hashes a line address into the presence filter. The multiplier
+// is the 64-bit golden-ratio constant; the high product bits mix every
+// address bit, so lines of one set (identical low bits) spread evenly.
+func (c *Cache) filterSlot(lineAddr uint64) uint64 {
+	return (lineAddr * 0x9e3779b97f4a7c15) >> c.filterShift
+}
+
+func (c *Cache) filterAdd(lineAddr uint64) {
+	if s := &c.filter[c.filterSlot(lineAddr)]; *s < 255 {
+		*s++
+	}
+}
+
+func (c *Cache) filterRemove(lineAddr uint64) {
+	// A saturated slot stays saturated: its true count is unknown, and a
+	// stuck-high slot only costs a redundant tag scan.
+	if s := &c.filter[c.filterSlot(lineAddr)]; *s < 255 {
+		*s--
+	}
+}
+
 // Name returns the level's configured name.
 func (c *Cache) Name() string { return c.cfg.Name }
 
@@ -117,16 +253,23 @@ func (c *Cache) Name() string { return c.cfg.Name }
 func (c *Cache) findLine(lineAddr uint64) int {
 	si := c.setIndex(lineAddr)
 	base := si * uint64(c.ways)
-	tags := c.tags[base : base+uint64(c.ways)]
 	key := lineAddr<<1 | 1
-	// MRU fast path: tags are unique within a set, so a hint hit is the
-	// same line the way-order scan would return.
-	if m := uint64(c.mru[si]); m < uint64(len(tags)) && tags[m] == key {
-		return int(base + m)
+	// MRU fast path: the hint carries the hinted way's key, so a hit is one
+	// probe with no dependent tag load; tags are unique within a set, so a
+	// hint hit is the same line the way-order scan would return.
+	if h := c.mruHint[si]; h.key == key {
+		return int(base + uint64(h.way))
 	}
+	// A zero filter slot proves absence: misses — the common case on the
+	// pointer-chase profiles — never walk the tags.
+	if c.filter[c.filterSlot(lineAddr)] == 0 {
+		return -1
+	}
+	tags := c.tags[base : base+uint64(c.ways)]
 	for i := range tags {
 		if tags[i] == key {
 			c.mru[si] = uint32(i)
+			c.mruHint[si] = mruEnt{key: key, way: uint32(i)}
 			return int(base + uint64(i))
 		}
 	}
@@ -134,46 +277,56 @@ func (c *Cache) findLine(lineAddr uint64) int {
 }
 
 // victim returns the global way index to fill for lineAddr: the first invalid
-// way, else the set's LRU way.
+// way — which is way setFilled[s], since valid ways form a prefix — else the
+// set's LRU way.
 func (c *Cache) victim(lineAddr uint64) (uint64, uint32) {
 	si := c.setIndex(lineAddr)
+	if f := c.setFilled[si]; int(f) < c.ways {
+		c.setFilled[si] = f + 1
+		c.filled++
+		return si, uint32(f)
+	}
 	base := si * uint64(c.ways)
-	if c.filled < len(c.lines) {
-		tags := c.tags[base : base+uint64(c.ways)]
-		for i := range tags {
-			if tags[i] == 0 {
-				c.filled++
-				return si, uint32(i)
-			}
+	lru := c.lru[base : base+uint64(c.ways)]
+	// Two passes beat the index-tracking one: minimum-of-values compiles to
+	// branch-free compare-and-move, and the first index holding the minimum
+	// is exactly the first-minimum the one-pass scan chose (true even if
+	// values were to repeat).
+	min := lru[0]
+	for _, l := range lru[1:] {
+		if l < min {
+			min = l
 		}
 	}
-	lru := c.lru[base : base+uint64(c.ways)]
 	vw := uint32(0)
-	for i := range lru {
-		if lru[i] < lru[vw] {
+	for i, l := range lru {
+		if l == min {
 			vw = uint32(i)
+			break
 		}
 	}
 	return si, vw
 }
 
+// purgeMSHRs retires outstanding misses whose data has arrived by cycle. The
+// ring is sorted by fill, so retirement advances the head index past the
+// retired prefix — no swaps, no compaction.
 func (c *Cache) purgeMSHRs(cycle uint64) {
 	if c.mshrMin > cycle {
 		return // nothing can have retired yet
 	}
-	addrs, fills := c.mshrAddr[:0], c.mshrFill[:0]
-	min := ^uint64(0)
-	for i, f := range c.mshrFill {
-		if f > cycle {
-			addrs = append(addrs, c.mshrAddr[i])
-			fills = append(fills, f)
-			if f < min {
-				min = f
-			}
-		}
+	h := c.mshrHead
+	for h < len(c.mshr) && c.mshr[h].fill <= cycle {
+		h++
 	}
-	c.mshrAddr, c.mshrFill = addrs, fills
-	c.mshrMin = min
+	if h == len(c.mshr) {
+		c.mshr = c.mshr[:0]
+		c.mshrHead = 0
+		c.mshrMin = ^uint64(0)
+	} else {
+		c.mshrHead = h
+		c.mshrMin = c.mshr[h].fill
+	}
 }
 
 // Access implements Backend. Demand accesses train the prefetcher with the
@@ -194,7 +347,7 @@ func (c *Cache) AccessPC(addr, pc uint64, cycle uint64, write, prefetch bool) ui
 	ready := c.lookupOrFill(lineAddr, cycle, write, prefetch)
 
 	if c.cfg.Prefetch != nil && !prefetch {
-		for _, target := range c.cfg.Prefetch.Observe(addr, pc, ready > cycle+c.cfg.Latency) {
+		for _, target := range c.observe(addr, pc, ready > cycle+c.cfg.Latency) {
 			c.PrefetchIssued++
 			c.lookupOrFill(target>>lineShift, cycle, false, true)
 		}
@@ -202,18 +355,31 @@ func (c *Cache) AccessPC(addr, pc uint64, cycle uint64, write, prefetch bool) ui
 	return ready
 }
 
+// observe trains the attached prefetcher, through the concrete type when it
+// is one of the two standard ones.
+func (c *Cache) observe(addr, pc uint64, miss bool) []uint64 {
+	if c.pfStream != nil {
+		return c.pfStream.Observe(addr, pc, miss)
+	}
+	if c.pfStride != nil {
+		return c.pfStride.Observe(addr, pc, miss)
+	}
+	return c.cfg.Prefetch.Observe(addr, pc, miss)
+}
+
 func (c *Cache) lookupOrFill(lineAddr, cycle uint64, write, prefetch bool) uint64 {
 	if gi := c.findLine(lineAddr); gi >= 0 {
 		c.lru[gi] = c.tick
-		l := &c.lines[gi]
-		if l.prefetch && !prefetch {
+		v := c.lines[gi]
+		if v&pfBit != 0 && !prefetch {
 			c.PrefetchUseful++
-			l.prefetch = false
+			v &^= pfBit
+			c.lines[gi] = v
 		}
 		// A hit on a still-filling line waits for the fill (MSHR merge).
 		start := cycle
-		if l.fillTime > start {
-			start = l.fillTime
+		if ft := v &^ pfBit; ft > start {
+			start = ft
 		}
 		return start + c.cfg.Latency
 	}
@@ -222,45 +388,78 @@ func (c *Cache) lookupOrFill(lineAddr, cycle uint64, write, prefetch bool) uint6
 		c.Misses++
 	}
 
-	// Merge with an outstanding miss if present.
+	// Merge with an outstanding miss if present. Live entries are unique by
+	// address, so ring order does not matter to the scan.
 	c.purgeMSHRs(cycle)
-	for i, a := range c.mshrAddr {
-		if a == lineAddr {
-			return c.mshrFill[i] + c.cfg.Latency
+	for i := c.mshrHead; i < len(c.mshr); i++ {
+		if c.mshr[i].addr == lineAddr {
+			return c.mshr[i].fill + c.cfg.Latency
 		}
 	}
 
-	// MSHR full: wait for the earliest retirement.
+	// MSHR full: drop prefetches before touching the fill times — they pay
+	// nothing — and stall demand accesses until the earliest retirement,
+	// which sits at the ring head.
 	issueCycle := cycle
-	if len(c.mshrAddr) >= c.cfg.MSHRs {
-		earliest := c.mshrFill[0]
-		for _, f := range c.mshrFill[1:] {
-			if f < earliest {
-				earliest = f
-			}
+	if len(c.mshr)-c.mshrHead >= c.cfg.MSHRs {
+		if prefetch {
+			return cycle
 		}
-		if !prefetch {
-			c.MSHRStalls++
-		} else {
-			return cycle // drop prefetches when MSHRs are exhausted
-		}
-		issueCycle = earliest
+		c.MSHRStalls++
+		issueCycle = c.mshr[c.mshrHead].fill
 		c.purgeMSHRs(issueCycle)
 	}
 
-	fill := c.next.Access(lineAddr<<lineShift, issueCycle+c.cfg.Latency, write, prefetch)
+	// Choose the victim — and touch its tag — before walking the next level:
+	// the tag is a dependent load into an array too large to stay resident,
+	// so issuing it here lets it resolve under the fill walk. Sound because
+	// the walk only ever descends (fillFrom never re-enters this level, and
+	// prefetches triggered below run entirely in the lower levels), so
+	// nothing read or written here changes before the fill returns.
 	si, vw := c.victim(lineAddr)
 	gi := si*uint64(c.ways) + uint64(vw)
-	c.lines[gi] = line{fillTime: fill, prefetch: prefetch}
+	old := c.tags[gi]
+
+	fill := c.fillFrom(lineAddr<<lineShift, issueCycle+c.cfg.Latency, write, prefetch)
+	if old != 0 {
+		c.filterRemove(old >> 1)
+	}
+	c.filterAdd(lineAddr)
+	v := fill
+	if prefetch {
+		v |= pfBit
+	}
+	c.lines[gi] = v
 	c.tags[gi] = lineAddr<<1 | 1
 	c.lru[gi] = c.tick
 	c.mru[si] = vw
-	if len(c.mshrAddr) == 0 || fill < c.mshrMin {
+	c.mruHint[si] = mruEnt{key: lineAddr<<1 | 1, way: vw}
+	if len(c.mshr) == c.mshrHead || fill < c.mshrMin {
 		c.mshrMin = fill
 	}
-	c.mshrAddr = append(c.mshrAddr, lineAddr)
-	c.mshrFill = append(c.mshrFill, fill)
+	c.mshrPush(mshrEnt{fill: fill, addr: lineAddr, seq: c.mshrSeq})
+	c.mshrSeq++
 	return fill + c.cfg.Latency
+}
+
+// mshrPush inserts an entry at its sorted position. Entries arrive with
+// mostly increasing fill times, so the common case is a plain append; equal
+// fills keep insertion order (the new entry lands after them), preserving
+// the historical first-minimum earliest-fill choice.
+func (c *Cache) mshrPush(e mshrEnt) {
+	if len(c.mshr) == cap(c.mshr) && c.mshrHead > 0 {
+		// Reclaim the retired prefix instead of growing the backing array.
+		n := copy(c.mshr, c.mshr[c.mshrHead:])
+		c.mshr = c.mshr[:n]
+		c.mshrHead = 0
+	}
+	c.mshr = append(c.mshr, e)
+	i := len(c.mshr) - 1
+	for i > c.mshrHead && c.mshr[i-1].fill > e.fill {
+		c.mshr[i] = c.mshr[i-1]
+		i--
+	}
+	c.mshr[i] = e
 }
 
 // Contains reports whether the line holding addr is resident (for tests).

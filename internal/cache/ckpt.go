@@ -1,10 +1,19 @@
 package cache
 
-import "rsepsim/internal/ckpt"
+import (
+	"sort"
+
+	"rsepsim/internal/ckpt"
+)
 
 // Save serializes the cache's contents and statistics. Geometry (set/way
 // counts, latencies, the prefetcher's shape) is not serialized — it is
-// reconstructed from the configuration, and Load refuses a mismatch.
+// reconstructed from the configuration, and Load refuses a mismatch. Derived
+// structures (the presence filter, the per-set fill counts, the MSHR ring
+// order) are likewise rebuilt by Load rather than stored: outstanding misses
+// are written as two parallel insertion-ordered arrays exactly as the
+// historical compact MSHR arrays were laid out. Line records are written in
+// their packed 8-byte form (format version 3).
 func (c *Cache) Save(w *ckpt.Writer) {
 	w.Mark("cache:" + c.cfg.Name)
 	ckpt.Slice(w, c.lines)
@@ -12,8 +21,16 @@ func (c *Cache) Save(w *ckpt.Writer) {
 	ckpt.Slice(w, c.lru)
 	ckpt.Slice(w, c.mru)
 	w.Int(c.filled)
-	ckpt.Slice(w, c.mshrAddr)
-	ckpt.Slice(w, c.mshrFill)
+	ents := append([]mshrEnt(nil), c.mshr[c.mshrHead:]...)
+	sort.Slice(ents, func(i, j int) bool { return ents[i].seq < ents[j].seq })
+	addrs := make([]uint64, len(ents))
+	fills := make([]uint64, len(ents))
+	for i, e := range ents {
+		addrs[i] = e.addr
+		fills[i] = e.fill
+	}
+	ckpt.Slice(w, addrs)
+	ckpt.Slice(w, fills)
 	w.U64(c.mshrMin)
 	w.U64(c.tick)
 	w.U64(c.Accesses)
@@ -34,8 +51,18 @@ func (c *Cache) Load(r *ckpt.Reader) {
 	ckpt.ReadSliceFixed(r, c.lru)
 	ckpt.ReadSliceFixed(r, c.mru)
 	c.filled = r.Int()
-	c.mshrAddr = ckpt.ReadSlice(r, c.mshrAddr)
-	c.mshrFill = ckpt.ReadSlice(r, c.mshrFill)
+	var addrs, fills []uint64
+	addrs = ckpt.ReadSlice(r, addrs)
+	fills = ckpt.ReadSlice(r, fills)
+	c.mshr = c.mshr[:0]
+	c.mshrHead = 0
+	c.mshrSeq = 0
+	for i := range addrs {
+		if i < len(fills) {
+			c.mshrPush(mshrEnt{fill: fills[i], addr: addrs[i], seq: c.mshrSeq})
+			c.mshrSeq++
+		}
+	}
 	c.mshrMin = r.U64()
 	c.tick = r.U64()
 	c.Accesses = r.U64()
@@ -43,8 +70,39 @@ func (c *Cache) Load(r *ckpt.Reader) {
 	c.PrefetchIssued = r.U64()
 	c.PrefetchUseful = r.U64()
 	c.MSHRStalls = r.U64()
+	c.rebuildDerived()
 	if c.cfg.Prefetch != nil {
 		c.cfg.Prefetch.Load(r)
+	}
+}
+
+// rebuildDerived recomputes the presence filter and per-set fill counts from
+// the restored tags. Valid ways form a prefix of each set (fills claim the
+// first invalid way and lines never invalidate — the same invariant victim
+// relies on), so the count is also the next victim way.
+func (c *Cache) rebuildDerived() {
+	clear(c.filter)
+	clear(c.setFilled)
+	for si := uint64(0); si < c.nsets; si++ {
+		base := si * uint64(c.ways)
+		n := uint16(0)
+		for w := 0; w < c.ways; w++ {
+			tag := c.tags[base+uint64(w)]
+			if tag == 0 {
+				break
+			}
+			c.filterAdd(tag >> 1)
+			n++
+		}
+		c.setFilled[si] = n
+		// Reconstitute the folded MRU hint from the serialized way hint; an
+		// out-of-range or invalid hinted way leaves key 0, which never
+		// matches.
+		if m := c.mru[si]; int(m) < c.ways {
+			c.mruHint[si] = mruEnt{key: c.tags[base+uint64(m)], way: m}
+		} else {
+			c.mruHint[si] = mruEnt{}
+		}
 	}
 }
 
@@ -60,7 +118,8 @@ func (s *StridePrefetcher) Load(r *ckpt.Reader) {
 	ckpt.ReadSliceFixed(r, s.entries)
 }
 
-// Save serializes the prefetcher's learned state.
+// Save serializes the prefetcher's learned state. The lastLine hash index is
+// derivable and rebuilt by Load, not stored.
 func (s *StreamPrefetcher) Save(w *ckpt.Writer) {
 	w.Mark("pf:stream")
 	ckpt.Slice(w, s.lastLine)
@@ -80,6 +139,10 @@ func (s *StreamPrefetcher) Load(r *ckpt.Reader) {
 	ckpt.ReadSliceFixed(r, s.lru)
 	s.clock = r.U64()
 	s.filled = r.Int()
+	clear(s.idx)
+	for i, ll := range s.lastLine {
+		s.reindex(i, 0, ll)
+	}
 }
 
 // Save serializes the TLB's translations and statistics.
@@ -106,4 +169,8 @@ func (t *TLB) Load(r *ckpt.Reader) {
 	t.filled = r.Int()
 	t.Accesses = r.U64()
 	t.Misses = r.U64()
+	t.mruKey = 0
+	if t.mru >= 0 && t.mru < len(t.pages) {
+		t.mruKey = t.pages[t.mru]
+	}
 }

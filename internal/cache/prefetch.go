@@ -1,6 +1,10 @@
 package cache
 
-import "rsepsim/internal/ckpt"
+import (
+	"math/bits"
+
+	"rsepsim/internal/ckpt"
+)
 
 // Prefetcher observes demand accesses and proposes prefetch target addresses.
 type Prefetcher interface {
@@ -23,6 +27,7 @@ type Prefetcher interface {
 // latency; degree stays 1 as in Table I).
 type StridePrefetcher struct {
 	entries  []strideEntry
+	mask     uint64 // len(entries)-1 when a power of two, else 0 (modulo path)
 	degree   int
 	distance int64
 	scratch  []uint64
@@ -39,7 +44,11 @@ type strideEntry struct {
 // NewStride returns a stride prefetcher with the given table size and degree
 // and a default lookahead distance of 16 strides.
 func NewStride(entries, degree int) *StridePrefetcher {
-	return &StridePrefetcher{entries: make([]strideEntry, entries), degree: degree, distance: 16}
+	s := &StridePrefetcher{entries: make([]strideEntry, entries), degree: degree, distance: 16}
+	if entries > 0 && entries&(entries-1) == 0 {
+		s.mask = uint64(entries) - 1
+	}
+	return s
 }
 
 // Reset implements Prefetcher.
@@ -50,7 +59,13 @@ func (s *StridePrefetcher) Observe(addr, pc uint64, _ bool) []uint64 {
 	if pc == 0 {
 		return nil
 	}
-	e := &s.entries[(pc>>2)%uint64(len(s.entries))]
+	slot := pc >> 2
+	if s.mask != 0 {
+		slot &= s.mask
+	} else {
+		slot %= uint64(len(s.entries))
+	}
+	e := &s.entries[slot]
 	if !e.valid || e.pc != pc {
 		*e = strideEntry{pc: pc, last: addr, valid: true}
 		return nil
@@ -87,14 +102,24 @@ func (s *StridePrefetcher) Observe(addr, pc uint64, _ bool) []uint64 {
 // (Table I: "Stream prefetcher (degree 1)"). It detects ascending or
 // descending line streams within 4KB regions and prefetches the next line(s)
 // of a confirmed stream on each miss.
+//
 // Stream state lives in dense parallel arrays (lastLine<<1|1 keys, 0 =
-// invalid) so the per-miss scan and LRU victim search stream small arrays
-// instead of striding fat records.
+// invalid). The per-miss candidate search is index-driven: a stream's
+// direction is always ±1 (allocation starts at +1 and every extension sets
+// dir to the matched ±1 step), so a miss at line can only extend a stream
+// whose lastLine is line-1 or line+1. A small hash table over lastLine keys
+// maps each of those two values to a bitmask of candidate streams, replacing
+// the linear scan over every stream with two bucket reads; candidates are
+// verified against the exact match predicate, so hash collisions cost a
+// check, never a wrong match. Tables larger than 32 streams fall back to the
+// plain scan (the bitmask is 32 bits wide).
 type StreamPrefetcher struct {
 	lastLine []uint64 // line<<1|1, 0 = invalid
 	dir      []int64  // +1 or -1
 	conf     []uint8
 	lru      []uint64
+	idx      []uint32 // hash bucket -> bitmask of streams whose lastLine hashes there
+	idxShift uint8
 	degree   int
 	clock    uint64
 	filled   int
@@ -104,12 +129,40 @@ type StreamPrefetcher struct {
 // NewStream returns a stream prefetcher tracking the given number of
 // concurrent streams.
 func NewStream(streams, degree int) *StreamPrefetcher {
-	return &StreamPrefetcher{
+	s := &StreamPrefetcher{
 		lastLine: make([]uint64, streams),
 		dir:      make([]int64, streams),
 		conf:     make([]uint8, streams),
 		lru:      make([]uint64, streams),
 		degree:   degree,
+	}
+	if streams <= 32 {
+		bbits := 4
+		for 1<<bbits < 4*streams {
+			bbits++
+		}
+		s.idx = make([]uint32, 1<<bbits)
+		s.idxShift = uint8(64 - bbits)
+	}
+	return s
+}
+
+func (s *StreamPrefetcher) bucket(line uint64) uint64 {
+	return (line * 0x9e3779b97f4a7c15) >> s.idxShift
+}
+
+// reindex moves stream i's index entry from key old to key new (either may
+// be 0 = none). The clear must precede the set so an old and new key landing
+// in the same bucket keeps the bit.
+func (s *StreamPrefetcher) reindex(i int, old, new uint64) {
+	if s.idx == nil {
+		return
+	}
+	if old != 0 {
+		s.idx[s.bucket(old>>1)] &^= 1 << uint(i)
+	}
+	if new != 0 {
+		s.idx[s.bucket(new>>1)] |= 1 << uint(i)
 	}
 }
 
@@ -119,8 +172,46 @@ func (s *StreamPrefetcher) Reset() {
 	clear(s.dir)
 	clear(s.conf)
 	clear(s.lru)
+	clear(s.idx)
 	s.clock = 0
 	s.filled = 0
+}
+
+// extend advances stream i to line with step d and returns the prefetch
+// targets (nil below the confidence threshold). Shared by both search paths.
+func (s *StreamPrefetcher) extend(i int, line uint64, d int64) []uint64 {
+	s.dir[i] = d
+	s.reindex(i, s.lastLine[i], line<<1|1)
+	s.lastLine[i] = line<<1 | 1
+	s.lru[i] = s.clock
+	if s.conf[i] < 3 {
+		s.conf[i]++
+	}
+	if s.conf[i] < 2 {
+		return nil
+	}
+	s.scratch = s.scratch[:0]
+	next := int64(line) + d*4 // run ahead of the stream
+	for k := 0; k < s.degree; k++ {
+		if next >= 0 {
+			s.scratch = append(s.scratch, uint64(next)<<lineShift)
+		}
+		next += d
+	}
+	return s.scratch
+}
+
+// matches reports whether stream i extends to line, and the step if so.
+func (s *StreamPrefetcher) matches(i int, line uint64) (int64, bool) {
+	ll := s.lastLine[i]
+	if ll == 0 {
+		return 0, false
+	}
+	d := int64(line) - int64(ll>>1)
+	if d == s.dir[i] || (s.conf[i] == 0 && (d == 1 || d == -1)) {
+		return d, true
+	}
+	return 0, false
 }
 
 // Observe implements Prefetcher.
@@ -131,54 +222,44 @@ func (s *StreamPrefetcher) Observe(addr, _ uint64, miss bool) []uint64 {
 	line := addr >> lineShift
 	s.clock++
 
-	// Find a stream this miss extends.
-	for i, ll := range s.lastLine {
-		if ll == 0 {
-			continue
+	// Find a stream this miss extends. With the index: the only possible
+	// matches have lastLine = line∓1 (dir is ±1 by construction), so two
+	// bucket reads yield every candidate; iterating the mask low-bit-first
+	// preserves the historical lowest-index match priority.
+	if s.idx != nil {
+		cand := s.idx[s.bucket(line-1)] | s.idx[s.bucket(line+1)]
+		for cand != 0 {
+			i := bits.TrailingZeros32(cand)
+			cand &= cand - 1
+			if d, ok := s.matches(i, line); ok {
+				return s.extend(i, line, d)
+			}
 		}
-		d := int64(line) - int64(ll>>1)
-		if d == s.dir[i] || (s.conf[i] == 0 && (d == 1 || d == -1)) {
-			s.dir[i] = d
-			s.lastLine[i] = line<<1 | 1
-			s.lru[i] = s.clock
-			if s.conf[i] < 3 {
-				s.conf[i]++
+	} else {
+		for i := range s.lastLine {
+			if d, ok := s.matches(i, line); ok {
+				return s.extend(i, line, d)
 			}
-			if s.conf[i] < 2 {
-				return nil
-			}
-			s.scratch = s.scratch[:0]
-			next := int64(line) + d*4 // run ahead of the stream
-			for k := 0; k < s.degree; k++ {
-				if next >= 0 {
-					s.scratch = append(s.scratch, uint64(next)<<lineShift)
-				}
-				next += d
-			}
-			return s.scratch
 		}
 	}
 
-	// Allocate a new stream: the first invalid slot, else the LRU victim.
-	victim := -1
+	// Allocate a new stream: the first invalid slot — which is index filled,
+	// since streams never invalidate and fills claim the lowest invalid
+	// index, so valid slots form the prefix [0, filled) — else the LRU
+	// victim.
+	var victim int
 	if s.filled < len(s.lastLine) {
-		for i, ll := range s.lastLine {
-			if ll == 0 {
-				victim = i
-				break
-			}
-		}
-	}
-	if victim < 0 {
+		victim = s.filled
+		s.filled++
+	} else {
 		victim = 0
 		for i, l := range s.lru {
 			if l < s.lru[victim] {
 				victim = i
 			}
 		}
-	} else {
-		s.filled++
 	}
+	s.reindex(victim, s.lastLine[victim], line<<1|1)
 	s.lastLine[victim] = line<<1 | 1
 	s.dir[victim] = 1
 	s.conf[victim] = 0
@@ -201,8 +282,9 @@ type TLB struct {
 	present []uint8
 	walk    uint64
 	clock   uint64
-	mru     int // index of the most recent hit
-	filled  int // valid entries; once == len(pages) the invalid scan is dead
+	mru     int    // index of the most recent hit
+	mruKey  uint64 // pages[mru], folded out so the hit fast path loads no array
+	filled  int    // valid entries; once == len(pages) the invalid scan is dead
 
 	Accesses, Misses uint64
 }
@@ -228,10 +310,11 @@ func (t *TLB) Lookup(addr uint64) uint64 {
 	key := page<<1 | 1
 	t.Accesses++
 	t.clock++
-	// MRU fast path. Sound because a hit returns before the full scan's
-	// victim selection ever matters, and victims are only chosen on a miss.
-	if m := t.mru; m < len(t.pages) && t.pages[m] == key {
-		t.lru[m] = t.clock
+	// MRU fast path: mruKey mirrors pages[mru], so the check reads no array.
+	// Sound because a hit returns before the full scan's victim selection
+	// ever matters, and victims are only chosen on a miss.
+	if t.mruKey == key {
+		t.lru[t.mru] = t.clock
 		return 0
 	}
 	// The filter proves absence: only scan when the page might be resident.
@@ -240,25 +323,34 @@ func (t *TLB) Lookup(addr uint64) uint64 {
 			if p == key {
 				t.lru[i] = t.clock
 				t.mru = i
+				t.mruKey = key
 				return 0
 			}
 		}
 	}
 	// Miss: the last invalid entry wins (matching the historical one-pass
-	// scan), else the lowest-clock valid one.
+	// scan). Entries never invalidate and every fill claims the highest
+	// invalid index, so the invalid region is the prefix [0, len-filled) by
+	// construction and the victim is its last element — no scan. A full
+	// TLB falls back to the lowest-clock valid entry.
 	victim := -1
 	if t.filled < len(t.pages) {
-		for i, p := range t.pages {
-			if p == 0 {
-				victim = i
-			}
-		}
+		victim = len(t.pages) - t.filled - 1
 	}
 	if victim < 0 {
-		victim = 0
+		// Two passes beat the index-tracking one: minimum-of-values compiles
+		// to branch-free compare-and-move, and the first index holding the
+		// minimum is exactly the first-minimum the one-pass scan chose.
+		min := t.lru[0]
+		for _, l := range t.lru[1:] {
+			if l < min {
+				min = l
+			}
+		}
 		for i, l := range t.lru {
-			if l < t.lru[victim] {
+			if l == min {
 				victim = i
+				break
 			}
 		}
 	} else {
@@ -272,6 +364,7 @@ func (t *TLB) Lookup(addr uint64) uint64 {
 	t.pages[victim] = key
 	t.lru[victim] = t.clock
 	t.mru = victim
+	t.mruKey = key
 	return t.walk
 }
 
@@ -281,5 +374,6 @@ func (t *TLB) Reset() {
 	clear(t.lru)
 	clear(t.present)
 	t.clock, t.mru, t.filled = 0, 0, 0
+	t.mruKey = 0
 	t.Accesses, t.Misses = 0, 0
 }

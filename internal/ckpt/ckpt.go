@@ -37,8 +37,10 @@ import (
 // caught by the section tags and, failing that, the checksum.
 //
 // Version history: 2 — metrics.Stats gained SkippedCycles and the pipeline's
-// dyn/hotState records moved renameReady between them.
-const FormatVersion uint32 = 2
+// dyn/hotState records moved renameReady between them. 3 — the RSEP FIFO
+// history ring shrank to 8-byte entries (implied CSNs, delta chain links)
+// and stopped serializing its derivable bucket heads.
+const FormatVersion uint32 = 3
 
 const magic = "RSEPCKPT"
 

@@ -49,13 +49,33 @@ type Memory struct {
 	cfg   Config
 	banks []bank
 
+	// Decode fast path: every Table I dimension is a power of two, so the
+	// address split is masks and a shift instead of three runtime divisions.
+	// rowShift is 0 when any dimension is not a power of two and decode
+	// falls back to the generic arithmetic.
+	chMask, rkMask, bkMask uint64
+	rowShift               uint8
+
 	Reads, RowHits, RowConflicts uint64
 	totalLatency                 uint64
 }
 
+func pow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
 // New builds a memory from cfg.
 func New(cfg Config) *Memory {
-	return &Memory{cfg: cfg, banks: make([]bank, cfg.Channels*cfg.Ranks*cfg.Banks)}
+	m := &Memory{cfg: cfg, banks: make([]bank, cfg.Channels*cfg.Ranks*cfg.Banks)}
+	rowSpan := cfg.RowBytes * uint64(cfg.Channels)
+	if pow2(cfg.Channels) && pow2(cfg.Ranks) && pow2(cfg.Banks) &&
+		rowSpan > 0 && rowSpan&(rowSpan-1) == 0 {
+		m.chMask = uint64(cfg.Channels) - 1
+		m.rkMask = uint64(cfg.Ranks) - 1
+		m.bkMask = uint64(cfg.Banks) - 1
+		for 1<<m.rowShift < rowSpan {
+			m.rowShift++
+		}
+	}
+	return m
 }
 
 // Reset clears all bank state and statistics in place, as if freshly
@@ -68,6 +88,13 @@ func (m *Memory) Reset() {
 
 func (m *Memory) decode(addr uint64) (bankIdx int, row uint64) {
 	line := addr >> 6
+	if m.rowShift != 0 {
+		ch := line & m.chMask
+		rk := (line >> 1) & m.rkMask
+		bk := (line >> 2) & m.bkMask
+		bankIdx = int(ch)*m.cfg.Ranks*m.cfg.Banks + int(rk)*m.cfg.Banks + int(bk)
+		return bankIdx, addr >> m.rowShift
+	}
 	ch := line % uint64(m.cfg.Channels)
 	rk := (line >> 1) % uint64(m.cfg.Ranks)
 	bk := (line >> 2) % uint64(m.cfg.Banks)

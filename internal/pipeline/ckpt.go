@@ -35,8 +35,7 @@ func (c *Core) Checkpoint(w io.Writer) error {
 
 	// Front end.
 	c.bp.Save(cw)
-	c.l1i.Save(cw)
-	c.itlb.Save(cw)
+	c.mh.SaveFrontend(cw)
 	c.src.Save(cw)
 	ckpt.Slice(cw, c.fetchQ)
 	cw.Int(c.fqHead)
@@ -64,11 +63,7 @@ func (c *Core) Checkpoint(w io.Writer) error {
 	}
 
 	// Memory system.
-	c.l1d.Save(cw)
-	c.l2.Save(cw)
-	c.l3.Save(cw)
-	c.dtlb.Save(cw)
-	c.mem.Save(cw)
+	c.mh.SaveData(cw)
 	c.ss.Save(cw)
 
 	// RSEP machinery. Component presence is a function of the config, which
@@ -176,8 +171,7 @@ func (c *Core) Restore(cfg *config.Config, src trace.Source, r io.Reader) error 
 
 	// Front end.
 	c.bp.Load(cr)
-	c.l1i.Load(cr)
-	c.itlb.Load(cr)
+	c.mh.LoadFrontend(cr)
 	if err := c.src.Load(cr, src); err != nil {
 		return err
 	}
@@ -207,11 +201,7 @@ func (c *Core) Restore(cfg *config.Config, src trace.Source, r io.Reader) error 
 	}
 
 	// Memory system.
-	c.l1d.Load(cr)
-	c.l2.Load(cr)
-	c.l3.Load(cr)
-	c.dtlb.Load(cr)
-	c.mem.Load(cr)
+	c.mh.LoadData(cr)
 	c.ss.Load(cr)
 
 	// RSEP machinery.

@@ -139,7 +139,7 @@ func (c *Core) checkViolations(st *dyn, sh *hotState) {
 // queue (Table I: STLF latency 4 cycles), otherwise the cache hierarchy.
 func (c *Core) loadReady(d *dyn) uint64 {
 	addr := d.in.Addr
-	extra := c.dtlb.Lookup(addr)
+	extra := c.mh.DTLB.Lookup(addr)
 
 	seq := d.in.Seq
 	for i := len(c.sq) - 1; i >= 0; i-- {
@@ -157,7 +157,7 @@ func (c *Core) loadReady(d *dyn) uint64 {
 			break
 		}
 	}
-	return c.l1d.AccessPC(addr, d.in.PC, c.cycle+extra, false, false)
+	return c.mh.L1D.AccessPC(addr, d.in.PC, c.cycle+extra, false, false)
 }
 
 // evtHeap: a binary min-heap (heap.go) ordered by (cycle, push order).

@@ -75,10 +75,8 @@ type Core struct {
 	rng    *rand.Rand
 	rngSrc *countingSource // rng's source, position-counted for checkpoints
 
-	// Front end.
+	// Front end. (The L1I and ITLB live in mh, the memory hierarchy.)
 	bp           *branch.Predictor
-	l1i          *cache.Cache
-	itlb         *cache.TLB
 	fetchQ       []uint32
 	fqHead       int
 	fetchBlocked uint32 // mispredicted branch stalling fetch until resolve (noDyn if none)
@@ -104,13 +102,10 @@ type Core struct {
 	ports   []port
 	valQ    []valUop
 
-	// Memory system.
-	l1d  *cache.Cache
-	l2   *cache.Cache
-	l3   *cache.Cache
-	dtlb *cache.TLB
-	mem  *dram.Memory
-	ss   *storeset.Table
+	// Memory system: the full Table I hierarchy as one concrete struct, so
+	// the L1D→L2→L3→DRAM miss chain is direct calls end to end.
+	mh *cache.Hierarchy
+	ss *storeset.Table
 
 	// RSEP machinery.
 	rsepCfg  *rsep.Config
@@ -202,7 +197,7 @@ func New(cfg *config.Config, src trace.Source) *Core {
 	wakeBacking := make([]wakeRef, wheelSize*wakeSlotReserve)
 	for i := range c.wakeSlots {
 		lo := i * wakeSlotReserve
-		c.wakeSlots[i] = wakeBacking[lo:lo:lo+wakeSlotReserve]
+		c.wakeSlots[i] = wakeBacking[lo : lo : lo+wakeSlotReserve]
 	}
 
 	// Initial architectural mappings.
@@ -216,29 +211,32 @@ func New(cfg *config.Config, src trace.Source) *Core {
 		c.rat.Set(a, p)
 	}
 
-	// Memory hierarchy (innermost last).
-	c.mem = dram.New(dram.NewDDR4_2400(cfg.CPUFreqGHz))
-	c.l3 = cache.New(cache.Config{
-		Name: "L3", SizeKB: cfg.L3SizeKB, Ways: cfg.L3Ways,
-		Latency: cfg.L3Latency - cfg.L2Latency, MSHRs: cfg.MSHRs,
-		Prefetch: cache.NewStream(16, 1),
-	}, c.mem)
-	c.l2 = cache.New(cache.Config{
-		Name: "L2", SizeKB: cfg.L2SizeKB, Ways: cfg.L2Ways,
-		Latency: cfg.L2Latency - cfg.L1DLatency, MSHRs: cfg.MSHRs,
-		Prefetch: cache.NewStream(16, 1),
-	}, c.l3)
-	c.l1d = cache.New(cache.Config{
-		Name: "L1D", SizeKB: cfg.L1SizeKB, Ways: cfg.L1Ways,
-		Latency: cfg.L1DLatency, MSHRs: cfg.MSHRs,
-		Prefetch: cache.NewStride(256, 1),
-	}, c.l2)
-	c.l1i = cache.New(cache.Config{
-		Name: "L1I", SizeKB: cfg.L1SizeKB, Ways: cfg.L1Ways,
-		Latency: cfg.L1ILatency, MSHRs: 8,
-	}, c.l2)
-	c.itlb = cache.NewTLB(cfg.ITLBEntries, cfg.TLBWalkLat)
-	c.dtlb = cache.NewTLB(cfg.DTLBEntries, cfg.TLBWalkLat)
+	// Memory hierarchy (NewHierarchy wires innermost last).
+	c.mh = cache.NewHierarchy(cache.HierarchyConfig{
+		L1I: cache.Config{
+			Name: "L1I", SizeKB: cfg.L1SizeKB, Ways: cfg.L1Ways,
+			Latency: cfg.L1ILatency, MSHRs: 8,
+		},
+		L1D: cache.Config{
+			Name: "L1D", SizeKB: cfg.L1SizeKB, Ways: cfg.L1Ways,
+			Latency: cfg.L1DLatency, MSHRs: cfg.MSHRs,
+			Prefetch: cache.NewStride(256, 1),
+		},
+		L2: cache.Config{
+			Name: "L2", SizeKB: cfg.L2SizeKB, Ways: cfg.L2Ways,
+			Latency: cfg.L2Latency - cfg.L1DLatency, MSHRs: cfg.MSHRs,
+			Prefetch: cache.NewStream(16, 1),
+		},
+		L3: cache.Config{
+			Name: "L3", SizeKB: cfg.L3SizeKB, Ways: cfg.L3Ways,
+			Latency: cfg.L3Latency - cfg.L2Latency, MSHRs: cfg.MSHRs,
+			Prefetch: cache.NewStream(16, 1),
+		},
+		ITLBEntries: cfg.ITLBEntries,
+		DTLBEntries: cfg.DTLBEntries,
+		TLBWalkLat:  cfg.TLBWalkLat,
+		DRAM:        dram.NewDDR4_2400(cfg.CPUFreqGHz),
+	})
 
 	// Issue ports per Table I: 4 ALU (one with Mul, one with Div), 3 FP
 	// (one FPMul, one FPDiv), 2 load/store, 1 store.
@@ -380,13 +378,13 @@ func (c *Core) step() {
 }
 
 func (c *Core) finishStats() {
-	c.stats.L1DAccesses = c.l1d.Accesses
-	c.stats.L1DMisses = c.l1d.Misses
-	c.stats.L2Misses = c.l2.Misses
-	c.stats.L3Misses = c.l3.Misses
-	c.stats.DRAMReads = c.mem.Reads
-	c.stats.DRAMLatencySum = c.mem.TotalReadLatency()
-	c.stats.AvgDRAMLatency = c.mem.AvgReadLatency()
+	c.stats.L1DAccesses = c.mh.L1D.Accesses
+	c.stats.L1DMisses = c.mh.L1D.Misses
+	c.stats.L2Misses = c.mh.L2.Misses
+	c.stats.L3Misses = c.mh.L3.Misses
+	c.stats.DRAMReads = c.mh.Mem.Reads
+	c.stats.DRAMLatencySum = c.mh.Mem.TotalReadLatency()
+	c.stats.AvgDRAMLatency = c.mh.Mem.AvgReadLatency()
 	c.stats.BranchMispredicts = c.bp.CondMispredicts
 }
 

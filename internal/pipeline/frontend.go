@@ -44,8 +44,7 @@ func (c *Core) fetch() {
 			line := in.PC >> 6
 			if line != c.lastLine {
 				c.lastLine = line
-				extra := c.itlb.Lookup(in.PC)
-				ready := c.l1i.Access(in.PC, c.cycle+extra, false, false)
+				extra, ready := c.mh.Fetch(in.PC, c.cycle)
 				if ready > c.cycle+c.cfg.L1ILatency+extra {
 					// Miss: this line arrives later; the unconsumed
 					// instruction stays pending — re-fetch then.

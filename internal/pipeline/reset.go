@@ -40,8 +40,6 @@ func (c *Core) ResetFor(cfg *config.Config, src trace.Source) bool {
 
 	// Front end.
 	c.bp.Reset()
-	c.l1i.Reset()
-	c.itlb.Reset()
 	c.src.Reset(src)
 	c.fetchQ = c.fetchQ[:0]
 	c.fqHead = 0
@@ -79,12 +77,8 @@ func (c *Core) ResetFor(cfg *config.Config, src trace.Source) bool {
 		c.ports[i].busyUntil = 0
 	}
 
-	// Memory system.
-	c.l1d.Reset()
-	c.l2.Reset()
-	c.l3.Reset()
-	c.dtlb.Reset()
-	c.mem.Reset()
+	// Memory system (all levels, both TLBs, DRAM).
+	c.mh.Reset()
 	c.ss.Reset()
 
 	// RSEP machinery.

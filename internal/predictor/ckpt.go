@@ -22,13 +22,16 @@ func (g *GlobalHistory) Load(r *ckpt.Reader) {
 	ckpt.ReadSliceFixed(r, g.folds)
 }
 
-// Save serializes every table and the aging clock. The allocation RNG is
-// shared and serialized by its owner.
+// Save serializes every table and the aging clock. Tagged components are
+// written as their struct-of-arrays halves — metadata then payloads, per
+// component (format version 3). The allocation RNG is shared and serialized
+// by its owner.
 func (t *TAGE[P]) Save(w *ckpt.Writer) {
 	w.Mark("tage")
 	ckpt.Slice(w, t.base)
-	for _, tbl := range t.tables {
+	for i, tbl := range t.tables {
 		ckpt.Slice(w, tbl)
+		ckpt.Slice(w, t.payloads[i])
 	}
 	w.Int(t.ticks)
 }
@@ -37,8 +40,9 @@ func (t *TAGE[P]) Save(w *ckpt.Writer) {
 func (t *TAGE[P]) Load(r *ckpt.Reader) {
 	r.Expect("tage")
 	ckpt.ReadSliceFixed(r, t.base)
-	for _, tbl := range t.tables {
+	for i, tbl := range t.tables {
 		ckpt.ReadSliceFixed(r, tbl)
+		ckpt.ReadSliceFixed(r, t.payloads[i])
 	}
 	t.ticks = r.Int()
 }

@@ -86,12 +86,24 @@ func log2(n int) int {
 	return b
 }
 
-type tagePayloadEntry[P comparable] struct {
+// tageBase is one base-table entry: payload and confidence only (the base
+// component is untagged).
+type tageBase[P comparable] struct {
 	payload P
 	conf    uint8
-	tag     uint32
-	u       uint8
-	valid   bool
+}
+
+// tageMeta is the payload-independent half of a tagged entry. Tagged tables
+// are stored struct-of-arrays: the metadata probed on every lookup lives in a
+// dense 8-byte record, and the payload — only read when the tag matches — in
+// a parallel array. A lookup probes every component but hits at most a few,
+// so the split halves (int64 payloads: triples) the bytes the probe loop
+// pulls through the host cache.
+type tageMeta struct {
+	tag   uint32
+	conf  uint8
+	u     uint8
+	valid bool
 }
 
 // TAGE is a generic TAGE-style predictor: a PC-indexed untagged base table
@@ -100,12 +112,13 @@ type tagePayloadEntry[P comparable] struct {
 // payload is arbitrary (an 8-bit instruction distance for the distance
 // predictor, a stride for D-VTAGE).
 type TAGE[P comparable] struct {
-	cfg    TAGEConfig
-	conf   ConfPolicy
-	base   []tagePayloadEntry[P]
-	tables [][]tagePayloadEntry[P]
-	rng    *rand.Rand
-	ticks  int
+	cfg      TAGEConfig
+	conf     ConfPolicy
+	base     []tageBase[P]
+	tables   [][]tageMeta
+	payloads [][]P // parallel to tables (tageMeta docs above)
+	rng      *rand.Rand
+	ticks    int
 
 	// Precomputed index arithmetic (DESIGN.md §3.2): table sizes are
 	// powers of two in every paper configuration, so indexing is a mask;
@@ -144,10 +157,11 @@ func NewTAGE[P comparable](cfg TAGEConfig, conf ConfPolicy, rng *rand.Rand) *TAG
 		panic("predictor: too many TAGE components")
 	}
 	t := &TAGE[P]{cfg: cfg, conf: conf, rng: rng}
-	t.base = make([]tagePayloadEntry[P], cfg.BaseEntries)
+	t.base = make([]tageBase[P], cfg.BaseEntries)
 	t.baseMask = Pow2Mask(cfg.BaseEntries)
 	for i, n := range cfg.TableEntries {
-		t.tables = append(t.tables, make([]tagePayloadEntry[P], n))
+		t.tables = append(t.tables, make([]tageMeta, n))
+		t.payloads = append(t.payloads, make([]P, n))
 		t.idxMasks[i] = Pow2Mask(n)
 		t.tagMasks[i] = (1 << uint(cfg.TagBits[i])) - 1
 	}
@@ -159,8 +173,9 @@ func NewTAGE[P comparable](cfg TAGEConfig, conf ConfPolicy, rng *rand.Rand) *TAG
 // shared across predictors) and must be reseeded there.
 func (t *TAGE[P]) Reset() {
 	clear(t.base)
-	for _, tbl := range t.tables {
+	for i, tbl := range t.tables {
 		clear(tbl)
+		clear(t.payloads[i])
 	}
 	t.ticks = 0
 }
@@ -231,10 +246,10 @@ func (t *TAGE[P]) LookupInto(lk *TAGELookup[P], pc uint64, hist *GlobalHistory) 
 		}
 		tag := uint32(tagMix(pc, fold, i)) & t.tagMasks[i]
 		lk.indices[i], lk.tags[i] = idx, tag
-		e := &t.tables[i][idx]
-		if e.valid && e.tag == tag {
+		m := &t.tables[i][idx]
+		if m.valid && m.tag == tag {
 			lk.altPayload, lk.altValid = lk.Payload, true
-			lk.Payload, lk.Conf = e.payload, e.conf
+			lk.Payload, lk.Conf = t.payloads[i][idx], m.conf
 			lk.Provider = i
 			lk.Hit = true
 		}
@@ -258,32 +273,37 @@ func (t *TAGE[P]) Update(lk *TAGELookup[P], observed P) (ok bool) {
 // can match while the *value* prediction built from it was wrong (inflight
 // extrapolation), and confidence must gate on end-to-end correctness.
 func (t *TAGE[P]) UpdateOutcome(lk *TAGELookup[P], observed P, outcome *bool) (ok bool) {
-	var e *tagePayloadEntry[P]
+	var conf *uint8
+	var pay *P
+	var u *uint8 // nil for the (untagged) base provider
 	if lk.Provider < 0 {
-		e = &t.base[lk.baseIdx]
+		be := &t.base[lk.baseIdx]
+		conf, pay = &be.conf, &be.payload
 	} else {
-		e = &t.tables[lk.Provider][lk.indices[lk.Provider]]
+		idx := lk.indices[lk.Provider]
+		m := &t.tables[lk.Provider][idx]
+		conf, pay = &m.conf, &t.payloads[lk.Provider][idx]
+		u = &m.u
 	}
-	correct := e.payload == observed
+	correct := *pay == observed
 	if outcome != nil {
 		correct = correct && *outcome
 	}
 
 	if correct {
-		e.conf = t.conf.Correct(e.conf)
-	} else if e.conf == 0 {
-		e.payload = observed
-		e.conf = 0
+		*conf = t.conf.Correct(*conf)
+	} else if *conf == 0 {
+		*pay = observed
 	} else {
-		e.conf = t.conf.Wrong(e.conf)
+		*conf = t.conf.Wrong(*conf)
 	}
 
 	// Useful-bit management (tagged providers only).
-	if lk.Provider >= 0 && lk.altValid && lk.Payload != lk.altPayload {
+	if u != nil && lk.altValid && lk.Payload != lk.altPayload {
 		if correct {
-			e.u = 1
+			*u = 1
 		} else {
-			e.u = 0
+			*u = 0
 		}
 	}
 
@@ -333,8 +353,8 @@ func (t *TAGE[P]) allocate(lk *TAGELookup[P], observed P) {
 	if second >= 0 && t.rng != nil && t.rng.Intn(2) == 0 {
 		pick = second
 	}
-	e := &t.tables[pick][lk.indices[pick]]
-	*e = tagePayloadEntry[P]{payload: observed, tag: lk.tags[pick], valid: true}
+	t.tables[pick][lk.indices[pick]] = tageMeta{tag: lk.tags[pick], valid: true}
+	t.payloads[pick][lk.indices[pick]] = observed
 }
 
 // GShare is the two-table gshare-style payload predictor of Sha et al.

@@ -30,7 +30,6 @@ func (d *GShareDist) Load(r *ckpt.Reader) {
 func (h *FIFOHistory) Save(w *ckpt.Writer) {
 	w.Mark("pairer:fifo")
 	ckpt.Slice(w, h.ring)
-	ckpt.Slice(w, h.heads)
 	w.U64(h.minCSN)
 	w.U64(h.nextCSN)
 	w.U64(h.Finds)
@@ -39,15 +38,24 @@ func (h *FIFOHistory) Save(w *ckpt.Writer) {
 }
 
 // Load restores state saved by Save into a history of identical geometry.
+// The bucket heads are not serialized: replaying the live CSN window in push
+// order reconstructs each bucket's most recent CSN. Heads that pointed below
+// the window at save time come back as noCSN, which the chain walk treats
+// identically (both terminate before reading a slot).
 func (h *FIFOHistory) Load(r *ckpt.Reader) {
 	r.Expect("pairer:fifo")
 	ckpt.ReadSliceFixed(r, h.ring)
-	ckpt.ReadSliceFixed(r, h.heads)
 	h.minCSN = r.U64()
 	h.nextCSN = r.U64()
 	h.Finds = r.U64()
 	h.Matches = r.U64()
 	h.PredictedMatches = r.U64()
+	for i := range h.heads {
+		h.heads[i] = noCSN
+	}
+	for csn := h.minCSN; csn < h.nextCSN; csn++ {
+		h.heads[h.ring[h.slot(csn)].hash&h.bktMask] = csn
+	}
 }
 
 // Save serializes the table and statistics.

@@ -51,6 +51,14 @@ type Pairer interface {
 // chain walk terminates at the window edge without ever deleting anything:
 // residency is bounded by the ring capacity by construction, and Push/Find
 // are allocation-free and cache-resident.
+//
+// Ring entries are eight bytes: the consecutive-CSN invariant means an
+// entry's own CSN is implied by its slot (within the live window there is
+// exactly one CSN per slot), and the chain link is stored as a saturating
+// 32-bit distance back rather than an absolute CSN — a saturated link lands
+// below minCSN for any realisable capacity, terminating the walk exactly as
+// the absolute form did. The 64K-entry ideal configuration thus stays a
+// 512KB table instead of 1.5MB of padded 24-byte records.
 type FIFOHistory struct {
 	ring     []histEntry
 	heads    []uint64 // bucket -> most recent CSN pushed there (noCSN if none)
@@ -67,10 +75,13 @@ type FIFOHistory struct {
 }
 
 type histEntry struct {
-	hash  uint32
-	valid bool
-	csn   uint64
-	prev  uint64 // previous CSN in this entry's bucket chain (noCSN if none)
+	hash uint32
+	// prevDelta is the distance back to the previous CSN in this entry's
+	// bucket chain: prev = csn - prevDelta. 0 means no predecessor; the
+	// value saturates at ^uint32(0), which is always below minCSN (the
+	// window is at most the ring capacity), so a clamped link terminates
+	// the chain walk exactly like a genuine out-of-window predecessor.
+	prevDelta uint32
 }
 
 // noCSN terminates bucket chains.
@@ -111,26 +122,35 @@ func (h *FIFOHistory) slot(csn uint64) uint64 {
 	return csn % uint64(h.capacity)
 }
 
-// Push implements Pairer.
+// Push implements Pairer. CSNs must arrive in consecutive ascending order
+// (the commit path's eligible-instruction counter) — the ring's implied-CSN
+// layout and the chain walk in Find both depend on it.
 func (h *FIFOHistory) Push(hash uint32, csn uint64) {
 	h.nextCSN = csn + 1
 	b := hash & h.bktMask
-	h.ring[h.slot(csn)] = histEntry{hash: hash, csn: csn, prev: h.heads[b], valid: true}
+	var pd uint32
+	if p := h.heads[b]; p != noCSN {
+		if d := csn - p; d <= uint64(^uint32(0)) {
+			pd = uint32(d)
+		} else {
+			pd = ^uint32(0)
+		}
+	}
+	h.ring[h.slot(csn)] = histEntry{hash: hash, prevDelta: pd}
 	h.heads[b] = csn
 	if csn+1 > uint64(h.capacity) {
 		h.minCSN = csn + 1 - uint64(h.capacity)
 	}
 }
 
+// lookupAt returns the entry for csn. Within the live window the slot's
+// contents belong to csn by the consecutive-push invariant, so no stored CSN
+// needs checking.
 func (h *FIFOHistory) lookupAt(csn uint64) (histEntry, bool) {
 	if csn >= h.nextCSN || csn < h.minCSN {
 		return histEntry{}, false
 	}
-	e := h.ring[h.slot(csn)]
-	if !e.valid || e.csn != csn {
-		return histEntry{}, false
-	}
-	return e, true
+	return h.ring[h.slot(csn)], true
 }
 
 // Find implements Pairer.
@@ -156,7 +176,10 @@ func (h *FIFOHistory) Find(hash uint32, csn uint64, predicted uint16) (uint16, b
 			last = c
 			break
 		}
-		c = e.prev
+		if e.prevDelta == 0 {
+			break
+		}
+		c -= uint64(e.prevDelta)
 	}
 	if last == noCSN || last >= csn {
 		return 0, false
